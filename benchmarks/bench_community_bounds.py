@@ -1,0 +1,45 @@
+"""Bench ``cor12``: community preservation (Thm. 7 and Cors. 1-2).
+
+Plants dense communities in two bipartite factors, forms
+``C = (A + I) ⊗ B``, and sweeps products of communities: Thm. 7 counts
+must be exact and the density bounds must hold (with the corrected
+Cor.-1 constant, see DESIGN.md errata).
+
+Run standalone: ``python benchmarks/bench_community_bounds.py``
+"""
+
+import numpy as np
+
+from repro.experiments import community_bounds_sweep
+from repro.generators import bipartite_bter
+from repro.graphs import BipartiteGraph
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.kronecker.community import BipartiteCommunity
+
+
+def _setup():
+    # BTER factors: affinity blocks ARE planted communities.
+    A = bipartite_bter(np.full(12, 5.0), np.full(12, 5.0), block_size=4, rho=0.9, seed=0)
+    B = bipartite_bter(np.full(10, 4.0), np.full(10, 4.0), block_size=5, rho=0.8, seed=1)
+    bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR, require_connected=False)
+    # Communities: the first affinity block of each side pair.
+    cas = [
+        BipartiteCommunity(A, np.concatenate((A.U[:4], A.W[:4]))),
+        BipartiteCommunity(A, np.concatenate((A.U[4:8], A.W[4:8]))),
+    ]
+    cbs = [BipartiteCommunity(B, np.concatenate((B.U[:5], B.W[:5])))]
+    return bk, cas, cbs
+
+
+def test_community_bounds(benchmark):
+    bk, cas, cbs = _setup()
+    result = benchmark(community_bounds_sweep, bk, cas, cbs)
+    print()
+    print(result.format())
+    assert all(r.thm7_exact for r in result.rows)
+    assert all(r.bounds_hold for r in result.rows)
+
+
+if __name__ == "__main__":
+    bk, cas, cbs = _setup()
+    print(community_bounds_sweep(bk, cas, cbs).format())

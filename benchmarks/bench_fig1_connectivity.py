@@ -1,0 +1,21 @@
+"""Bench ``fig1``: the three bipartite-product regimes of Fig. 1.
+
+Regenerates the figure's connectivity/bipartiteness table (predictions
+from Thms. 1-2 / Weichsel vs BFS measurement) and times the pipeline.
+
+Run standalone: ``python benchmarks/bench_fig1_connectivity.py``
+Run under pytest-benchmark: ``pytest benchmarks/bench_fig1_connectivity.py --benchmark-only -s``
+"""
+
+from repro.experiments import fig1_connectivity_table
+
+
+def test_fig1_connectivity(benchmark):
+    result = benchmark(fig1_connectivity_table)
+    print()
+    print(result.format())
+    assert all(row.consistent for row in result.rows)
+
+
+if __name__ == "__main__":
+    print(fig1_connectivity_table().format())

@@ -1,0 +1,22 @@
+"""Bench ``fig2``: the closed-walk decomposition identity of Fig. 2.
+
+``W⁴(i,i) = 2 s_i + d_i² + Σ_{j∈N_i} d_j − d_i`` verified on the
+unicode-like factor (868 vertices), timing the linear-algebra side.
+
+Run standalone: ``python benchmarks/bench_fig2_closed_walks.py``
+"""
+
+from repro.experiments import fig2_closed_walk_identity
+
+
+def test_fig2_closed_walk_identity(benchmark, unicode_like):
+    result = benchmark(fig2_closed_walk_identity, unicode_like.graph)
+    print()
+    print(result.format())
+    assert result.max_abs_error == 0
+
+
+if __name__ == "__main__":
+    from repro.generators import konect_unicode_like
+
+    print(fig2_closed_walk_identity(konect_unicode_like().graph).format())

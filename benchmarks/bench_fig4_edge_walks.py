@@ -1,0 +1,22 @@
+"""Bench ``fig4``: the edge walk decomposition identity of Fig. 4.
+
+``W³(i,j) = ◇_ij + d_i + d_j − 1`` on every edge of the unicode-like
+factor, timing the evaluation.
+
+Run standalone: ``python benchmarks/bench_fig4_edge_walks.py``
+"""
+
+from repro.experiments import fig4_edge_walk_identity
+
+
+def test_fig4_edge_walk_identity(benchmark, unicode_like):
+    result = benchmark(fig4_edge_walk_identity, unicode_like.graph)
+    print()
+    print(result.format())
+    assert result.max_abs_error == 0
+
+
+if __name__ == "__main__":
+    from repro.generators import konect_unicode_like
+
+    print(fig4_edge_walk_identity(konect_unicode_like().graph).format())

@@ -1,0 +1,34 @@
+"""Bench ``fig5``: degree vs vertex 4-cycle count (the paper's Fig. 5).
+
+Produces both scatter series (factor and 753k-vertex product) from the
+ground-truth formulas and prints the log-binned medians -- the textual
+equivalent of the paper's log-log plot.  Timing covers the full
+vertex-level ground-truth computation at product scale.
+
+Run standalone: ``python benchmarks/bench_fig5_degree_vs_squares.py``
+"""
+
+import numpy as np
+
+from repro.experiments import fig5_degree_vs_squares
+
+
+def test_fig5_degree_vs_squares(benchmark, unicode_product):
+    result = benchmark(fig5_degree_vs_squares, unicode_product, "unicode-like A")
+    print()
+    print(result.format())
+    # Shape assertions matching the paper's figure: both series rise
+    # steeply (roughly quartic-vs-degree tail on the product).
+    mids, meds = result.product.binned()
+    assert meds[-1] > meds[0]
+    # Heavy tail: the product's top square count dwarfs its median.
+    assert result.product.squares.max() > 100 * max(np.median(result.product.squares), 1)
+
+
+if __name__ == "__main__":
+    from repro.generators import konect_unicode_like
+    from repro.kronecker import Assumption, make_bipartite_product
+
+    A = konect_unicode_like()
+    bk = make_bipartite_product(A, A, Assumption.SELF_LOOPS_FACTOR, require_connected=False)
+    print(fig5_degree_vs_squares(bk, "unicode-like A").format())

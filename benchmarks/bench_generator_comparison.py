@@ -1,0 +1,163 @@
+"""Ablation ``gen-compare``: non-stochastic products vs stochastic baselines.
+
+§I contrasts the proposed generator with the stochastic alternatives:
+
+* R-MAT's "probability of generating high-order graph structure between
+  medium-low degree vertices is much too low to mimic many real-world
+  bipartite graphs";
+* bipartite BTER can be tuned to clustering but gives statistics only
+  in expectation;
+* non-stochastic products have exact ground truth but "peculiar
+  properties, such as the lack of vertices with large prime degrees".
+
+This bench builds all four generators at matched scale (same part
+sizes, similar edge count) and reports, per generator: edge count, max
+degree, global butterflies (with whether the number is *exact-by-
+construction* or had to be recounted), degree-binned edge clustering at
+the low-degree end, and the prime-degree fraction.
+
+Run standalone: ``python benchmarks/bench_generator_comparison.py``
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analytics import (
+    degree_binned_edge_clustering,
+    global_butterflies,
+)
+from repro.generators import (
+    bipartite_bter,
+    bipartite_chung_lu,
+    bipartite_rmat,
+    scale_free_bipartite_factor,
+)
+from repro.graphs import BipartiteGraph
+from repro.graphs.degree import prime_degree_fraction
+from repro.kronecker import Assumption, global_squares_product, make_bipartite_product
+
+
+@dataclass
+class GeneratorRow:
+    name: str
+    n: int
+    m: int
+    d_max: int
+    butterflies: int
+    ground_truth_free: bool   # exact count came from formulas, no recount
+    low_degree_clustering: float
+    prime_degree_fraction: float
+
+
+@dataclass
+class ComparisonResult:
+    rows: List[GeneratorRow]
+
+    def format(self) -> str:
+        lines = [
+            "Generator comparison at matched scale (see §I discussion)",
+            "-" * 108,
+            f"{'generator':<22}{'n':>7}{'m':>9}{'d_max':>7}{'butterflies':>13}"
+            f"{'exact-free?':>12}{'lowdeg Γ':>10}{'prime-deg frac':>16}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.name:<22}{r.n:>7,}{r.m:>9,}{r.d_max:>7}{r.butterflies:>13,}"
+                f"{str(r.ground_truth_free):>12}{r.low_degree_clustering:>10.4f}"
+                f"{r.prime_degree_fraction:>16.3f}"
+            )
+        lines.append("-" * 108)
+        lines.append(
+            "expected shape: only the Kronecker product's count is free (no recount);\n"
+            "R-MAT's low-degree clustering trails the Kronecker/BTER generators;\n"
+            "the Kronecker product's prime-degree fraction is ~0 (degrees factor)."
+        )
+        return "\n".join(lines)
+
+
+def _low_degree_gamma(bg: BipartiteGraph) -> float:
+    lows, means, counts = degree_binned_edge_clustering(bg)
+    if lows.size == 0:
+        return 0.0
+    # average Γ over the lowest third of the populated bins
+    take = max(1, lows.size // 3)
+    return float(np.average(means[:take], weights=counts[:take]))
+
+
+def run_comparison(seed: int = 11) -> ComparisonResult:
+    # Matched scale: Kronecker product of two small scale-free factors.
+    A = scale_free_bipartite_factor(10, 14, 2, seed=seed)
+    B = scale_free_bipartite_factor(8, 10, 2, seed=seed + 1)
+    bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+    C = bk.materialize_bipartite()
+    target_nu, target_nw = C.U.size, C.W.size
+    target_m = C.m
+
+    rows = [
+        GeneratorRow(
+            name="kronecker (A+I)(x)B",
+            n=C.n,
+            m=C.m,
+            d_max=int(C.graph.degrees().max()),
+            butterflies=global_squares_product(bk),   # formulas, no recount
+            ground_truth_free=True,
+            low_degree_clustering=_low_degree_gamma(C),
+            prime_degree_fraction=prime_degree_fraction(C.graph),
+        )
+    ]
+
+    # Stochastic baselines; butterflies must be recounted on the
+    # realized graph (the §I contrast).  Two R-MAT rows: one at matched
+    # vertex count (whose tiny saturated grid *over*-produces local
+    # structure) and one at realistic sparsity (same edges, 64x the
+    # grid), the regime §I's "much too low" remark describes.
+    scale_u = int(np.ceil(np.log2(target_nu)))
+    scale_w = int(np.ceil(np.log2(target_nw)))
+    rmat_bg = bipartite_rmat(scale_u, scale_w, 2 * target_m, seed=seed)
+    rmat_sparse = bipartite_rmat(scale_u + 3, scale_w + 3, 2 * target_m, seed=seed)
+    d = C.graph.degrees()
+    du = d[C.U].astype(float)
+    dw = d[C.W].astype(float)
+    cl_bg = bipartite_chung_lu(du, dw, seed=seed)
+    bter_bg = bipartite_bter(du, dw, block_size=8, rho=0.6, seed=seed)
+    for name, bg in [
+        ("bipartite R-MAT", rmat_bg),
+        ("R-MAT (sparse grid)", rmat_sparse),
+        ("bipartite Chung-Lu", cl_bg),
+        ("bipartite BTER", bter_bg),
+    ]:
+        rows.append(
+            GeneratorRow(
+                name=name,
+                n=bg.n,
+                m=bg.m,
+                d_max=int(bg.graph.degrees().max()),
+                butterflies=global_butterflies(bg),    # recount required
+                ground_truth_free=False,
+                low_degree_clustering=_low_degree_gamma(bg),
+                prime_degree_fraction=prime_degree_fraction(bg.graph),
+            )
+        )
+    return ComparisonResult(rows)
+
+
+def test_generator_comparison(benchmark):
+    result = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    kron_row = result.rows[0]
+    rmat_sparse = next(r for r in result.rows if "sparse" in r.name)
+    # §I shapes: exact counts are free only for the Kronecker product;
+    # at realistic sparsity R-MAT's low-degree 4-cycle structure
+    # collapses; product degrees factor, so big primes are absent.
+    assert kron_row.ground_truth_free
+    assert all(not r.ground_truth_free for r in result.rows[1:])
+    assert kron_row.low_degree_clustering > 2 * rmat_sparse.low_degree_clustering
+    assert kron_row.prime_degree_fraction <= 0.05
+    assert rmat_sparse.prime_degree_fraction > 0.05
+
+
+if __name__ == "__main__":
+    print(run_comparison().format())

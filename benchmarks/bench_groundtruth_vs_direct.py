@@ -1,0 +1,43 @@
+"""Bench ``cost``: the §I/§IV cost model.
+
+Sweeps growing products and times sublinear ground truth against direct
+butterfly counting on the materialized product.  The absolute numbers
+are environment-specific; the *shape* the paper claims -- the formula
+path's advantage grows with ``|E_C|`` -- must hold at the top of the
+sweep.
+
+Also times the two §IV primitives separately at unicode scale: the
+global ground-truth count (never touches the product) and full local
+vertex counts.
+
+Run standalone: ``python benchmarks/bench_groundtruth_vs_direct.py``
+"""
+
+from repro.experiments import groundtruth_vs_direct
+from repro.kronecker import global_squares_product, vertex_squares_product
+
+
+def test_cost_sweep(benchmark):
+    result = benchmark.pedantic(
+        groundtruth_vs_direct, kwargs={"sizes": [8, 16, 32, 64]}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    # Shape: the largest product must favour the formula path.
+    assert result.rows[-1].speedup > 1.0
+
+
+def test_global_ground_truth_at_unicode_scale(benchmark, unicode_product):
+    total = benchmark(global_squares_product, unicode_product)
+    print(f"\nglobal 4-cycles of the (A+I)(x)A product: {total:,} (sublinear path)")
+    assert total > 10**8
+
+
+def test_local_vertex_ground_truth_at_unicode_scale(benchmark, unicode_product):
+    s = benchmark(vertex_squares_product, unicode_product)
+    print(f"\nlocal vertex 4-cycle counts computed for {s.size:,} product vertices")
+    assert s.size == unicode_product.n
+
+
+if __name__ == "__main__":
+    print(groundtruth_vs_direct(sizes=[8, 16, 32, 64]).format())

@@ -1,0 +1,69 @@
+"""Bench ``par``: process-parallel generation and counting scaling.
+
+The single-node realisation of §V's distributed-generation plan:
+measure shard-generation and butterfly-counting wall time at 1 / 2 / 4
+workers.  Absolute speedups depend on core count and process-spawn
+overhead; the asserted shape is correctness (parallel == serial
+results, checked inside the workers' callers) plus the reduction
+actually engaging multiple workers.
+
+Run standalone: ``python benchmarks/bench_parallel.py``
+"""
+
+import numpy as np
+
+from repro.analytics import global_butterflies
+from repro.generators import bipartite_chung_lu, scale_free_bipartite_factor
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.parallel import parallel_edge_count, parallel_global_butterflies
+from repro.utils.timing import Timer
+
+
+def _product():
+    A = scale_free_bipartite_factor(20, 28, 2, seed=2)
+    B = scale_free_bipartite_factor(24, 30, 2, seed=3)
+    return make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+
+
+def _bipartite_graph():
+    return bipartite_chung_lu(np.full(900, 14.0), np.full(1100, 11.0), seed=4)
+
+
+def test_parallel_edge_count(benchmark):
+    bk = _product()
+    expected = bk.M.nnz * bk.B.graph.nnz
+    total = benchmark.pedantic(
+        parallel_edge_count, args=(bk,), kwargs={"n_shards": 8, "n_workers": 4}, rounds=1, iterations=1
+    )
+    print(f"\nparallel edge count: {total:,} directed entries (closed form: {expected:,})")
+    assert total == expected
+
+
+def test_parallel_butterfly_count(benchmark):
+    bg = _bipartite_graph()
+    serial = global_butterflies(bg)
+    parallel = benchmark.pedantic(
+        parallel_global_butterflies,
+        args=(bg,),
+        kwargs={"n_blocks": 8, "n_workers": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nbutterflies: parallel {parallel:,} == serial {serial:,}")
+    assert parallel == serial
+
+
+def scaling_table() -> str:
+    """Wall-clock at 1/2/4 workers (standalone mode only)."""
+    bg = _bipartite_graph()
+    lines = ["parallel butterfly counting scaling", "-" * 44, f"{'workers':>8}{'time (s)':>12}{'count':>16}"]
+    for workers in (1, 2, 4):
+        with Timer() as t:
+            count = parallel_global_butterflies(bg, n_blocks=8, n_workers=workers)
+        lines.append(f"{workers:>8}{t.elapsed:>12.4f}{count:>16,}")
+    lines.append("-" * 44)
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(scaling_table())

@@ -1,0 +1,33 @@
+"""Bench ``thm6``: the edge clustering scaling law (Thm. 6).
+
+Evaluates ``Γ_C >= ψ Γ_A Γ_B`` on every applicable edge of a product
+whose factors genuinely cluster (complete x complete-bipartite), and
+reports the bound's empirical tightness -- the paper predicts the bound
+is loose ("Typically ◇_pq is much greater than ◇_ij ◇_kl").
+
+Run standalone: ``python benchmarks/bench_thm6_clustering_law.py``
+"""
+
+from repro.experiments import thm6_tightness
+from repro.generators import complete_bipartite, complete_graph
+from repro.kronecker import Assumption, make_bipartite_product
+
+
+def _build():
+    return make_bipartite_product(
+        complete_graph(6), complete_bipartite(4, 5).graph, Assumption.NON_BIPARTITE_FACTOR
+    )
+
+
+def test_thm6_clustering_law(benchmark):
+    bk = _build()
+    result = benchmark(thm6_tightness, bk)
+    print()
+    print(result.format())
+    assert result.violations == 0
+    assert result.n_edges > 0
+    assert result.max_ratio <= 1.0 + 1e-12
+
+
+if __name__ == "__main__":
+    print(thm6_tightness(_build()).format())

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy shared objects are session-scoped; every bench prints the paper
+artifact it regenerates (run with ``-s`` to see the rows).
+"""
+
+import pytest
+
+from repro.generators import konect_unicode_like
+from repro.kronecker import Assumption, make_bipartite_product
+
+
+@pytest.fixture(scope="session")
+def unicode_like():
+    return konect_unicode_like()
+
+
+@pytest.fixture(scope="session")
+def unicode_product(unicode_like):
+    return make_bipartite_product(
+        unicode_like, unicode_like, Assumption.SELF_LOOPS_FACTOR, require_connected=False
+    )

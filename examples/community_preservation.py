@@ -1,0 +1,62 @@
+"""Community preservation under Kronecker products (§III-C).
+
+Plants dense bipartite communities in two BTER factors, forms
+``C = (A + I) (x) B``, and demonstrates:
+
+* Thm. 7's internal/external edge counts are exact,
+* Cor. 1 bounds internal density from below (with the corrected
+  constant -- see DESIGN.md errata) and Cor. 2 bounds external density
+  from above,
+* the qualitative claim: dense factor communities stay dense in the
+  product, much denser than the product's background.
+
+Run: ``python examples/community_preservation.py``
+"""
+
+import numpy as np
+
+from repro import Assumption, bipartite_bter, make_bipartite_product
+from repro.experiments import community_bounds_sweep
+from repro.kronecker.community import (
+    BipartiteCommunity,
+    community_densities,
+)
+
+
+def main() -> None:
+    # BTER factors: block_size-sized affinity blocks ARE the planted
+    # communities (rho = within-block density).
+    A = bipartite_bter(np.full(16, 5.0), np.full(16, 5.0), block_size=4, rho=0.9, seed=0)
+    B = bipartite_bter(np.full(12, 4.0), np.full(12, 4.0), block_size=6, rho=0.8, seed=1)
+    bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR, require_connected=False)
+    print(f"product: {bk}")
+
+    # Communities = first/second affinity blocks of each factor.
+    communities_a = [
+        BipartiteCommunity(A, np.concatenate((A.U[:4], A.W[:4]))),
+        BipartiteCommunity(A, np.concatenate((A.U[4:8], A.W[4:8]))),
+    ]
+    communities_b = [
+        BipartiteCommunity(B, np.concatenate((B.U[:6], B.W[:6]))),
+    ]
+    print()
+    print(community_bounds_sweep(bk, communities_a, communities_b).format())
+
+    # Background comparison: a random same-sized vertex set in C should
+    # be far sparser than the planted product community.
+    from repro.kronecker.community import product_community
+
+    sc = product_community(bk, communities_a[0], communities_b[0])
+    rho_in_planted, _ = community_densities(sc)
+    rng = np.random.default_rng(2)
+    host = sc.host
+    rand = BipartiteCommunity(host, rng.choice(host.n, size=sc.size, replace=False))
+    rho_in_random, _ = community_densities(rand)
+    print(f"\nplanted product community ρ_in = {rho_in_planted:.4f}")
+    print(f"random same-size vertex set ρ_in = {rho_in_random:.4f}")
+    print(f"contrast: {rho_in_planted / max(rho_in_random, 1e-9):.1f}x denser "
+          "-- dense factors yield dense products (paper §V).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: build bipartite Kronecker products with ground truth.
+
+Walks the library's core loop in one page:
+
+1. build products under both §III-A assumptions,
+2. predict connectivity/bipartiteness from the theorems,
+3. read exact 4-cycle ground truth from the formulas,
+4. cross-check everything against direct counting.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import (
+    Assumption,
+    GroundTruthOracle,
+    cycle_graph,
+    global_squares_product,
+    make_bipartite_product,
+    path_graph,
+    vertex_squares_product,
+)
+from repro.analytics import global_squares, vertex_squares_matrix
+from repro.graphs import is_bipartite, is_connected
+from repro.kronecker import predict_product_connectivity
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Assumption 1(i): a non-bipartite factor makes the product connect.
+    # ------------------------------------------------------------------
+    A = cycle_graph(5)       # odd cycle: non-bipartite, connected
+    B = path_graph(4)        # bipartite, connected
+    bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+    print(f"Assumption 1(i):  C = C5 (x) P4  ->  {bk}")
+
+    pred = predict_product_connectivity(bk.M, B)
+    print(f"  theory: connected={pred.connected} bipartite={pred.bipartite}  ({pred.reason})")
+    C = bk.materialize()
+    print(f"  BFS:    connected={is_connected(C)} bipartite={is_bipartite(C)}")
+
+    # Ground truth vs direct counting.
+    gt = global_squares_product(bk)           # sublinear: factors only
+    direct = global_squares(C)                # linear algebra on C
+    print(f"  global 4-cycles: ground truth {gt} == direct {direct}: {gt == direct}")
+
+    # ------------------------------------------------------------------
+    # Assumption 1(ii): two bipartite factors, self loops added to one.
+    # ------------------------------------------------------------------
+    A2 = path_graph(4)
+    B2 = path_graph(5)
+    bk2 = make_bipartite_product(A2, B2, Assumption.SELF_LOOPS_FACTOR)
+    print(f"\nAssumption 1(ii): C = (P4 + I) (x) P5  ->  {bk2}")
+
+    s_gt = vertex_squares_product(bk2)        # Thm 4 (sign-corrected)
+    s_direct = vertex_squares_matrix(bk2.materialize())
+    print(f"  per-vertex 4-cycle counts match direct counting: {np.array_equal(s_gt, s_direct)}")
+
+    # ------------------------------------------------------------------
+    # The oracle: local queries from factor-sized memory.
+    # ------------------------------------------------------------------
+    oracle = GroundTruthOracle(bk2)
+    p = int(np.argmax(s_gt))
+    print(f"\nOracle (stores {oracle.memory_footprint_entries()} factor entries, "
+          f"product has {bk2.m} edges):")
+    print(f"  busiest vertex {p}: degree {oracle.degree(p)}, "
+          f"4-cycles {oracle.squares_at_vertex(p)}")
+    q = int(bk2.materialize().neighbors(p)[0])
+    print(f"  edge ({p}, {q}): 4-cycles {oracle.squares_at_edge(p, q)}, "
+          f"clustering {oracle.clustering_at_edge(p, q):.3f}")
+
+
+if __name__ == "__main__":
+    main()

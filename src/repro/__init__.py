@@ -1,0 +1,107 @@
+"""repro: non-stochastic Kronecker generation of bipartite graphs with
+ground-truth 4-cycle counts and dense structure.
+
+A faithful, laptop-scale reproduction of
+
+    Steil, McMillan, Sanders, Pearce, Priest.
+    "Kronecker Graph Generation with Ground Truth for 4-Cycles and
+    Dense Structure in Bipartite Graphs."  IEEE IPDPSW (GrAPL) 2020.
+
+Quickstart::
+
+    from repro import (
+        Assumption, make_bipartite_product, GroundTruthOracle,
+        path_graph, cycle_graph,
+    )
+
+    bk = make_bipartite_product(cycle_graph(3), path_graph(4),
+                                Assumption.NON_BIPARTITE_FACTOR)
+    oracle = GroundTruthOracle(bk)
+    print(oracle.global_squares())        # exact, without forming C
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured experiment index.
+"""
+
+from repro.generators import (
+    bipartite_bter,
+    bipartite_chung_lu,
+    bipartite_rmat,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    konect_unicode_like,
+    path_graph,
+    powerlaw_weights,
+    preferential_attachment,
+    rmat,
+    scale_free_bipartite_factor,
+    scale_free_nonbipartite_factor,
+    star_graph,
+)
+from repro.graphs import BipartiteGraph, Graph, bipartition, is_bipartite, is_connected
+from repro.kronecker import (
+    Assumption,
+    BipartiteCommunity,
+    BipartiteKronecker,
+    GroundTruthOracle,
+    KroneckerProduct,
+    edge_squares_product,
+    global_squares_product,
+    kron_graph,
+    kron_power,
+    make_bipartite_product,
+    predict_product_connectivity,
+    product_community,
+    stream_edges,
+    thm7_product_counts,
+    vertex_squares_product,
+)
+
+from repro.validation import ValidationReport, standard_battery, validate_counter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "Graph",
+    "BipartiteGraph",
+    "bipartition",
+    "is_bipartite",
+    "is_connected",
+    # generators
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "preferential_attachment",
+    "scale_free_bipartite_factor",
+    "scale_free_nonbipartite_factor",
+    "bipartite_chung_lu",
+    "powerlaw_weights",
+    "rmat",
+    "bipartite_rmat",
+    "bipartite_bter",
+    "konect_unicode_like",
+    # kronecker core
+    "Assumption",
+    "BipartiteKronecker",
+    "make_bipartite_product",
+    "KroneckerProduct",
+    "kron_graph",
+    "kron_power",
+    "vertex_squares_product",
+    "edge_squares_product",
+    "global_squares_product",
+    "predict_product_connectivity",
+    "GroundTruthOracle",
+    "BipartiteCommunity",
+    "product_community",
+    "thm7_product_counts",
+    "stream_edges",
+    "validate_counter",
+    "standard_battery",
+    "ValidationReport",
+]

@@ -1,0 +1,102 @@
+"""Bipartite-specialised butterfly (4-cycle) counting.
+
+On a bipartite graph every 4-cycle alternates parts, so counting can
+run entirely on the ``|U| x |W|`` biadjacency ``X`` instead of the full
+adjacency -- half the dimensions and, with the *side-priority* trick
+(run the codegree product on the smaller part), often far fewer wedges.
+These are the production counters used at product scale by the
+benchmark harness; :mod:`repro.analytics.fourcycles` provides the
+general-graph equivalents used as referees.
+
+Identities (for ``u, u' ∈ U``, ``w ∈ W``, loop-free ``X``):
+
+* U-side codegree ``C = X Xᵀ``; butterflies at ``u``:
+  ``b_u = Σ_{u' != u} C(C_{uu'}, 2)``; analogously on the W side with
+  ``Xᵀ X``.
+* Global: ``B = Σ_{u<u'} C(C_{uu'}, 2)`` (one side suffices).
+* Per edge ``(u, w)``: ``b_{uw} = (X Xᵀ X)_{uw} - d_u - d_w + 1``
+  (the bipartite reading of Fig. 4's walk identity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = [
+    "vertex_butterflies",
+    "edge_butterflies",
+    "global_butterflies",
+]
+
+
+def _codegree_choose2(X: sp.csr_array) -> tuple[np.ndarray, sp.csr_array]:
+    """Per-row sums of ``C(codegree, 2)`` and the codegree matrix.
+
+    Rows of ``X`` are the side whose pairwise codegrees are formed.
+    The diagonal (self-codegree) is removed before the choose-2.
+    """
+    C = sp.csr_array(X @ X.T).tolil()
+    C.setdiag(0)
+    C = sp.csr_array(C)
+    w = C.data.astype(np.int64)
+    contrib = w * (w - 1) // 2
+    out = np.zeros(X.shape[0], dtype=np.int64)
+    counts = np.diff(C.indptr)
+    rows = np.repeat(np.arange(X.shape[0]), counts)
+    np.add.at(out, rows, contrib)
+    return out, C
+
+
+def vertex_butterflies(bg: BipartiteGraph) -> np.ndarray:
+    """Butterflies at every vertex, in the graph's own vertex ids.
+
+    Both side codegree products are needed (each vertex's count comes
+    from pairs on its *own* side); the result aligns with
+    ``bg.graph``'s vertex numbering.
+    """
+    X = bg.biadjacency()
+    bu, _ = _codegree_choose2(X)
+    bw, _ = _codegree_choose2(sp.csr_array(X.T))
+    out = np.zeros(bg.n, dtype=np.int64)
+    out[bg.U] = bu
+    out[bg.W] = bw
+    return out
+
+
+def global_butterflies(bg: BipartiteGraph) -> int:
+    """Total butterflies, via the *smaller* side's codegree product.
+
+    The side-priority choice matters: the codegree matrix on side ``S``
+    has ``O(|S|^2)`` worst-case pattern, so picking the smaller part
+    bounds both memory and wedge work.
+    """
+    X = bg.biadjacency()
+    if X.shape[0] > X.shape[1]:
+        X = sp.csr_array(X.T)
+    per_row, _ = _codegree_choose2(X)
+    total, rem = divmod(int(per_row.sum()), 2)
+    assert rem == 0, "each butterfly is counted by exactly two same-side pairs"
+    return total
+
+
+def edge_butterflies(bg: BipartiteGraph) -> sp.csr_array:
+    """Butterflies at every edge, as a ``|U| x |W|`` sparse matrix
+    aligned with the biadjacency pattern (explicit zeros kept).
+
+    ``b_{uw} = (X Xᵀ X)_{uw} - d_u - d_w + 1`` on edges.
+    """
+    X = bg.biadjacency()
+    du = np.asarray(X.sum(axis=1)).ravel().astype(np.int64)
+    dw = np.asarray(X.sum(axis=0)).ravel().astype(np.int64)
+    W3 = sp.csr_array(sp.csr_array(X @ X.T) @ X)
+    coo = X.tocoo()
+    if coo.nnz == 0:
+        return sp.csr_array(X.shape, dtype=np.int64)
+    # Direct per-edge lookup keeps butterfly-free edges as explicit
+    # zeros, so the output pattern equals the biadjacency pattern.
+    w3_at_edges = np.asarray(W3[coo.row, coo.col]).ravel().astype(np.int64)
+    values = w3_at_edges - du[coo.row] - dw[coo.col] + 1
+    return sp.csr_array(sp.coo_array((values, (coo.row, coo.col)), shape=X.shape))

@@ -1,0 +1,75 @@
+"""k-truss decomposition (triangle-support peeling).
+
+Context in the paper: §III-B's discussion of Rem. 1 contrasts trusses
+with wings -- "it is fairly easy to create Kronecker product graphs
+with no 3-cycles (in certain regions or globally) [so] it is possible
+to create Kronecker product graphs that have a ground truth truss
+decomposition.  The situation is entirely different with 4-cycles."
+
+This module supplies the truss side of that contrast:
+
+* :func:`truss_decomposition` -- classical edge peeling by triangle
+  support (Cohen's k-truss [9]; the truss number of an edge is the
+  largest ``k`` such that it survives in a subgraph where every edge
+  closes >= k triangles);
+* the demonstrable ground-truth story: any product with a bipartite
+  factor is triangle-free, so its truss decomposition is identically
+  zero -- *known at generation time* -- which the tests pin, alongside
+  the wing-side impossibility from Rem. 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["truss_decomposition", "truss_number_max"]
+
+
+def truss_decomposition(graph: Graph) -> Dict[Tuple[int, int], int]:
+    """Truss number of every edge (0 for edges in no triangle).
+
+    Peeling: repeatedly remove a minimum-support edge; each triangle it
+    closed decrements its two partner edges.  Adjacency sets are
+    updated in place; a lazy heap orders removals.  Conventions: we
+    report *support-style* truss numbers (max triangles per edge in the
+    strongest subgraph containing it), i.e. the classical ``k``-truss
+    contains edges with truss number >= ``k - 2``.
+    """
+    if graph.has_self_loops:
+        raise ValueError("truss decomposition assumes a loop-free graph")
+    adj = [set(graph.neighbors(v).tolist()) for v in range(graph.n)]
+    u_arr, v_arr = graph.edge_arrays()
+    support: Dict[Tuple[int, int], int] = {}
+    for u, v in zip(u_arr.tolist(), v_arr.tolist()):
+        support[(u, v)] = len(adj[u] & adj[v])
+    heap = [(s, e) for e, s in support.items()]
+    heapq.heapify(heap)
+    removed: set[Tuple[int, int]] = set()
+    truss: Dict[Tuple[int, int], int] = {}
+    k = 0
+    while heap:
+        s, (u, v) = heapq.heappop(heap)
+        if (u, v) in removed or s != support[(u, v)]:
+            continue
+        k = max(k, s)
+        truss[(u, v)] = k
+        for w in adj[u] & adj[v]:
+            for edge in ((min(u, w), max(u, w)), (min(v, w), max(v, w))):
+                if edge not in removed:
+                    support[edge] -= 1
+                    heapq.heappush(heap, (support[edge], edge))
+        removed.add((u, v))
+        adj[u].discard(v)
+        adj[v].discard(u)
+    return truss
+
+
+def truss_number_max(graph: Graph) -> int:
+    """Largest truss number over all edges (0 for triangle-free)."""
+    truss = truss_decomposition(graph)
+    return max(truss.values(), default=0)

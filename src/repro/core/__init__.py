@@ -1,0 +1,13 @@
+"""``repro.core`` -- alias namespace for the paper's primary contribution.
+
+The project layout names the core subpackage :mod:`repro.kronecker`
+(the contribution *is* the bipartite Kronecker ground-truth machinery);
+this module re-exports it under the generic ``repro.core`` name so
+downstream code written against either import path works:
+
+    from repro.core import make_bipartite_product      # equivalent
+    from repro.kronecker import make_bipartite_product # equivalent
+"""
+
+from repro.kronecker import *  # noqa: F401,F403 - deliberate alias surface
+from repro.kronecker import __all__  # noqa: F401

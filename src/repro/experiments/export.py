@@ -1,0 +1,111 @@
+"""CSV export for experiment artifacts.
+
+The harness prints paper-style text tables; plotting tools want data
+files.  ``write_csv`` understands every result type in
+:mod:`repro.experiments` and writes one tidy CSV per artifact (or two
+for Fig. 5, one per series), using only the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.figures import Fig1Result, Fig3Result, Fig5Result
+from repro.experiments.robustness import SeedSweepResult
+from repro.experiments.scaling import CommunityResult, CostResult
+from repro.experiments.tables import Table1Result
+
+__all__ = ["write_csv"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_csv(result, path: PathLike) -> list[Path]:
+    """Write ``result`` as CSV; returns the file(s) written.
+
+    ``path`` is the target file; multi-series artifacts (Fig. 5) derive
+    per-series names by suffixing the stem.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(result, Fig1Result):
+        return [_write_rows(
+            path,
+            ["case", "predicted_bipartite", "actual_bipartite", "predicted_connected",
+             "actual_connected", "components"],
+            [
+                [r.name, r.predicted_bipartite, r.actual_bipartite,
+                 r.predicted_connected, r.actual_connected, r.components]
+                for r in result.rows
+            ],
+        )]
+    if isinstance(result, Fig3Result):
+        return [_write_rows(
+            path,
+            ["case", "squares_A", "squares_B", "squares_C_formula", "squares_C_brute"],
+            [
+                [r.name, r.factor_squares_a, r.factor_squares_b,
+                 r.product_squares_formula, r.product_squares_brute]
+                for r in result.rows
+            ],
+        )]
+    if isinstance(result, Fig5Result):
+        written = []
+        for series in (result.factor, result.product):
+            slug = series.label.lower().replace(" ", "_")
+            target = path.with_name(f"{path.stem}_{slug}{path.suffix or '.csv'}")
+            written.append(_write_rows(
+                target,
+                ["degree", "squares"],
+                list(zip(series.degree.tolist(), series.squares.tolist())),
+            ))
+        return written
+    if isinstance(result, Table1Result):
+        return [_write_rows(
+            path,
+            ["adjacency", "n_u", "n_w", "edges", "global_squares"],
+            [
+                ["A", result.factor_n_u, result.factor_n_w,
+                 result.factor_edges, result.factor_squares],
+                ["C=(A+I)xA", result.product_n_u, result.product_n_w,
+                 result.product_edges, result.product_squares],
+            ],
+        )]
+    if isinstance(result, CostResult):
+        return [_write_rows(
+            path,
+            ["n_product", "m_product", "squares", "t_ground_truth", "t_direct", "speedup"],
+            [
+                [r.n_product, r.m_product, r.squares, r.t_ground_truth, r.t_direct, r.speedup]
+                for r in result.rows
+            ],
+        )]
+    if isinstance(result, CommunityResult):
+        return [_write_rows(
+            path,
+            ["community", "thm7_m_in", "measured_m_in", "thm7_m_out", "measured_m_out",
+             "rho_in", "cor1_bound", "rho_out", "cor2_bound"],
+            [
+                [r.label, r.thm7_m_in, r.measured_m_in, r.thm7_m_out, r.measured_m_out,
+                 r.rho_in_product, r.cor1_bound, r.rho_out_product, r.cor2_bound]
+                for r in result.rows
+            ],
+        )]
+    if isinstance(result, SeedSweepResult):
+        return [_write_rows(
+            path,
+            ["seed", "edges", "factor_squares", "product_squares"],
+            [[r.seed, r.edges, r.factor_squares, r.product_squares] for r in result.rows],
+        )]
+    raise TypeError(f"no CSV exporter for {type(result).__name__}")
+
+
+def _write_rows(path: Path, header: list[str], rows) -> Path:
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,86 @@
+"""A GraphBLAS-style sparse linear algebra substrate.
+
+The paper expresses every ground-truth formula in the language of the
+GraphBLAS (Kronecker products, Hadamard products, matrix powers,
+diagonal extraction, reductions).  This subpackage implements the subset
+of the GraphBLAS C API (v1.3) that those formulas need, in pure
+Python/numpy with CSR storage:
+
+* :class:`~repro.gb.matrix.GBMatrix` / :class:`~repro.gb.vector.GBVector`
+  -- opaque sparse containers.
+* :mod:`~repro.gb.types` -- ``BinaryOp`` / ``Monoid`` / ``Semiring``
+  algebra descriptors.
+* :mod:`~repro.gb.semirings` -- the standard semirings
+  (``PLUS_TIMES``, ``LOR_LAND``, ``MIN_PLUS``, ``MAX_TIMES``, ...).
+* :mod:`~repro.gb.ops` -- ``mxm``, ``mxv``, ``vxm``, ``ewise_add``,
+  ``ewise_mult`` (Hadamard), ``kron``, ``reduce_rows``,
+  ``reduce_scalar``, ``apply``, ``select``, ``extract``, ``transpose``,
+  ``diag`` -- each with optional structural masks and accumulators.
+
+Design notes (per the HPC guides): everything is vectorised numpy under
+the hood; the ``PLUS_TIMES`` and boolean semirings lower onto scipy's
+compiled sparse kernels, and only genuinely non-standard semirings
+(``MIN_PLUS`` etc.) fall back to a row-blocked numpy kernel.  No
+operation mutates its inputs; masks are applied before materializing
+results so masked products never allocate the unmasked intermediate
+pattern beyond one CSR temporary.
+"""
+
+from repro.gb.matrix import GBMatrix
+from repro.gb.ops import (
+    apply,
+    diag,
+    ewise_add,
+    ewise_mult,
+    extract,
+    kron,
+    mxm,
+    mxv,
+    reduce_rows,
+    reduce_scalar,
+    select,
+    transpose,
+    vxm,
+)
+from repro.gb.semirings import (
+    LOR_LAND,
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_MAX,
+    MIN_PLUS,
+    MIN_TIMES,
+    PLUS_PAIR,
+    PLUS_TIMES,
+)
+from repro.gb.types import BinaryOp, Monoid, Semiring, UnaryOp
+from repro.gb.vector import GBVector
+
+__all__ = [
+    "GBMatrix",
+    "GBVector",
+    "BinaryOp",
+    "Monoid",
+    "Semiring",
+    "UnaryOp",
+    "mxm",
+    "mxv",
+    "vxm",
+    "ewise_add",
+    "ewise_mult",
+    "kron",
+    "reduce_rows",
+    "reduce_scalar",
+    "apply",
+    "select",
+    "extract",
+    "transpose",
+    "diag",
+    "PLUS_TIMES",
+    "LOR_LAND",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "MIN_TIMES",
+    "MAX_PLUS",
+    "MIN_MAX",
+    "PLUS_PAIR",
+]

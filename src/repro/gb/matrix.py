@@ -1,0 +1,134 @@
+"""Sparse matrix container (``GrB_Matrix`` analogue).
+
+:class:`GBMatrix` wraps a canonical ``scipy.sparse.csr_array``.  The
+wrapper exists for two reasons: (1) to give the GraphBLAS ops a stable,
+minimal surface that does not leak scipy's (historically shifting) API
+into the rest of the library, and (2) to keep the data *canonical* --
+sorted indices, summed duplicates -- which the kernels in
+:mod:`repro.gb.ops` rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["GBMatrix"]
+
+
+def _canonical_csr(matrix) -> sp.csr_array:
+    """Coerce any scipy sparse / dense input to canonical CSR."""
+    if sp.issparse(matrix):
+        csr = sp.csr_array(matrix)
+    else:
+        arr = np.asarray(matrix)
+        if arr.ndim != 2:
+            raise ValueError(f"expected 2-D input, got shape {arr.shape}")
+        csr = sp.csr_array(arr)
+    csr.sum_duplicates()
+    csr.sort_indices()
+    return csr
+
+
+class GBMatrix:
+    """An immutable-by-convention sparse matrix in CSR form.
+
+    Stored zeros are permitted (GraphBLAS semantics); use
+    :meth:`prune` to drop them when the mathematical pattern matters.
+    """
+
+    __slots__ = ("csr",)
+
+    def __init__(self, data):
+        self.csr = _canonical_csr(data)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, rows, cols, values, shape) -> "GBMatrix":
+        """Build from COO triplets (duplicates are summed)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values)
+        return cls(sp.coo_array((values, (rows, cols)), shape=shape))
+
+    @classmethod
+    def from_dense(cls, array) -> "GBMatrix":
+        """Build from a dense 2-D array, storing only nonzeros."""
+        return cls(np.asarray(array))
+
+    @classmethod
+    def identity(cls, n: int, dtype=np.int64) -> "GBMatrix":
+        """The n-by-n identity (paper's ``I_A``)."""
+        return cls(sp.identity(n, dtype=dtype, format="csr"))
+
+    @classmethod
+    def zeros(cls, shape) -> "GBMatrix":
+        """An all-empty matrix of the given shape (paper's ``O_A``)."""
+        return cls(sp.csr_array(shape, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self):
+        return self.csr.shape
+
+    @property
+    def nrows(self) -> int:
+        return int(self.csr.shape[0])
+
+    @property
+    def ncols(self) -> int:
+        return int(self.csr.shape[1])
+
+    @property
+    def nvals(self) -> int:
+        """Number of stored entries (including explicit zeros)."""
+        return int(self.csr.nnz)
+
+    @property
+    def dtype(self):
+        return self.csr.dtype
+
+    def to_dense(self) -> np.ndarray:
+        return self.csr.toarray()
+
+    def to_coo(self):
+        """Return ``(rows, cols, values)`` arrays in row-major order."""
+        coo = self.csr.tocoo()
+        return coo.row.astype(np.int64), coo.col.astype(np.int64), coo.data
+
+    def prune(self) -> "GBMatrix":
+        """Drop explicit zeros."""
+        csr = self.csr.copy()
+        csr.eliminate_zeros()
+        return GBMatrix(csr)
+
+    def pattern(self) -> "GBMatrix":
+        """The 0/1 structure of the matrix (pruned)."""
+        csr = self.csr.copy()
+        csr.eliminate_zeros()
+        out = csr.astype(bool).astype(np.int64)
+        return GBMatrix(out)
+
+    def get(self, i: int, j: int):
+        """Entry (i, j), 0 when no entry is stored."""
+        return self.csr[i, j]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GBMatrix):
+            return NotImplemented
+        if self.shape != other.shape:
+            return False
+        diff = self.csr - other.csr
+        return diff.nnz == 0 or not np.any(diff.data)
+
+    def __hash__(self):  # pragma: no cover - containers of matrices unused
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GBMatrix(shape={self.shape}, nvals={self.nvals}, dtype={self.dtype})"

@@ -1,0 +1,382 @@
+"""GraphBLAS operations over :class:`GBMatrix` / :class:`GBVector`.
+
+Kernels follow a two-tier strategy, per the HPC guides' "use compiled
+code for the hot spots" rule:
+
+* Semirings with a ``lowering`` tag (``PLUS_TIMES``, boolean
+  ``LOR_LAND``, counting ``PLUS_PAIR``) and the standard element-wise
+  ops run on scipy's compiled CSR kernels.
+* Everything else goes through a fully vectorised numpy fallback
+  (COO expansion + lexicographic sort + segmented reduction) -- no
+  per-entry Python loops, at the cost of materializing the expanded
+  intermediate.  The fallback is only exercised on small factor
+  matrices; all large-product work in this library lowers to scipy.
+
+Masks are *structural* (GraphBLAS ``GrB_STRUCTURE`` semantics): entries
+of the result are kept where the mask has a stored entry (or where it
+does not, with ``complement=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.gb.matrix import GBMatrix
+from repro.gb.semirings import PLUS, PLUS_TIMES, TIMES
+from repro.gb.types import BinaryOp, Monoid, Semiring, UnaryOp
+from repro.gb.vector import GBVector
+
+__all__ = [
+    "mxm",
+    "mxv",
+    "vxm",
+    "ewise_add",
+    "ewise_mult",
+    "kron",
+    "reduce_rows",
+    "reduce_scalar",
+    "apply",
+    "select",
+    "extract",
+    "transpose",
+    "diag",
+]
+
+
+# ---------------------------------------------------------------------------
+# Mask helpers
+# ---------------------------------------------------------------------------
+
+
+def _apply_matrix_mask(result: sp.csr_array, mask: Optional[GBMatrix], complement: bool) -> sp.csr_array:
+    """Filter ``result`` by a structural mask."""
+    if mask is None:
+        if complement:
+            raise ValueError("complement=True requires a mask")
+        return result
+    if mask.shape != result.shape:
+        raise ValueError(f"mask shape {mask.shape} != result shape {result.shape}")
+    pattern = mask.prune().csr.astype(bool)
+    if complement:
+        # Keep entries of result whose coordinate is NOT in the mask.
+        r, c, v = _coo(result)
+        if r.size == 0:
+            return result
+        keep = np.asarray(pattern[r, c]).ravel() == 0
+        return sp.csr_array(sp.coo_array((v[keep], (r[keep], c[keep])), shape=result.shape))
+    out = result.multiply(pattern)
+    return sp.csr_array(out)
+
+
+def _coo(csr: sp.csr_array):
+    coo = csr.tocoo()
+    return coo.row.astype(np.int64), coo.col.astype(np.int64), coo.data
+
+
+# ---------------------------------------------------------------------------
+# Generic semiring matmul (COO expansion + segmented reduction)
+# ---------------------------------------------------------------------------
+
+
+def _generic_mxm(A: sp.csr_array, B: sp.csr_array, semiring: Semiring) -> sp.csr_array:
+    """Semiring product via vectorised expansion.
+
+    For every stored ``A[i, k]`` we gather the whole row ``B[k, :]``,
+    multiply with the semiring's multiply op, and reduce collisions on
+    ``(i, j)`` with the semiring's add monoid.  All steps are whole-array
+    numpy operations.
+    """
+    A = sp.csr_array(A)
+    B = sp.csr_array(B)
+    a_rows, a_cols, a_vals = _coo(A)
+    if a_rows.size == 0 or B.nnz == 0:
+        return sp.csr_array((A.shape[0], B.shape[1]))
+    b_indptr = B.indptr
+    # Number of B-row entries hanging off each A nonzero.
+    counts = b_indptr[a_cols + 1] - b_indptr[a_cols]
+    total = int(counts.sum())
+    if total == 0:
+        return sp.csr_array((A.shape[0], B.shape[1]))
+    out_rows = np.repeat(a_rows, counts)
+    left_vals = np.repeat(a_vals, counts)
+    # Gather positions into B.data: for each A nonzero t, the slice
+    # [b_indptr[a_cols[t]], b_indptr[a_cols[t]+1]).  Built with the
+    # standard cumsum trick (no Python loop).
+    starts = np.repeat(b_indptr[a_cols], counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    gather = starts + offsets
+    out_cols = B.indices[gather].astype(np.int64)
+    right_vals = B.data[gather]
+    prods = semiring.multiply(left_vals, right_vals)
+    # Reduce on (row, col) with the add monoid.
+    keys = out_rows * B.shape[1] + out_cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    prods = np.asarray(prods)[order]
+    boundaries = np.flatnonzero(np.diff(keys)) + 1
+    starts_seg = np.concatenate(([0], boundaries))
+    uniq_keys = keys[starts_seg]
+    seg_ids = np.repeat(np.arange(starts_seg.size), np.diff(np.concatenate((starts_seg, [keys.size]))))
+    reduced = semiring.add.segment_reduce(prods, seg_ids, starts_seg.size)
+    rows = (uniq_keys // B.shape[1]).astype(np.int64)
+    cols = (uniq_keys % B.shape[1]).astype(np.int64)
+    return sp.csr_array(sp.coo_array((reduced, (rows, cols)), shape=(A.shape[0], B.shape[1])))
+
+
+def mxm(
+    A: GBMatrix,
+    B: GBMatrix,
+    semiring: Semiring = PLUS_TIMES,
+    mask: Optional[GBMatrix] = None,
+    complement: bool = False,
+) -> GBMatrix:
+    """Matrix-matrix multiply over a semiring (``GrB_mxm``)."""
+    if A.ncols != B.nrows:
+        raise ValueError(f"dimension mismatch: {A.shape} x {B.shape}")
+    if semiring.lowering == "plus_times":
+        result = sp.csr_array(A.csr @ B.csr)
+    elif semiring.lowering == "boolean":
+        result = sp.csr_array(
+            (A.prune().csr.astype(bool) @ B.prune().csr.astype(bool)).astype(np.int64)
+        )
+    elif semiring.lowering == "boolean_count":
+        pa = A.prune().csr.astype(bool).astype(np.int64)
+        pb = B.prune().csr.astype(bool).astype(np.int64)
+        result = sp.csr_array(pa @ pb)
+    else:
+        result = _generic_mxm(A.csr, B.csr, semiring)
+    return GBMatrix(_apply_matrix_mask(result, mask, complement))
+
+
+def mxv(A: GBMatrix, x: GBVector, semiring: Semiring = PLUS_TIMES) -> GBVector:
+    """Matrix-vector multiply over a semiring (``GrB_mxv``)."""
+    if A.ncols != x.size:
+        raise ValueError(f"dimension mismatch: {A.shape} x vector of size {x.size}")
+    col = sp.csr_array(
+        sp.coo_array((x.values, (x.indices, np.zeros(x.nvals, dtype=np.int64))), shape=(x.size, 1))
+    )
+    if semiring.lowering == "plus_times":
+        out = sp.csr_array(A.csr @ col)
+    elif semiring.lowering == "boolean":
+        out = sp.csr_array((A.prune().csr.astype(bool) @ col.astype(bool)).astype(np.int64))
+    elif semiring.lowering == "boolean_count":
+        out = sp.csr_array(A.prune().csr.astype(bool).astype(np.int64) @ col.astype(bool).astype(np.int64))
+    else:
+        out = _generic_mxm(A.csr, col, semiring)
+    coo = out.tocoo()
+    return GBVector(A.nrows, coo.row.astype(np.int64), coo.data)
+
+
+def vxm(x: GBVector, A: GBMatrix, semiring: Semiring = PLUS_TIMES) -> GBVector:
+    """Vector-matrix multiply (``GrB_vxm``); equals ``mxv(Aᵀ, x)``."""
+    return mxv(transpose(A), x, semiring)
+
+
+# ---------------------------------------------------------------------------
+# Element-wise operations
+# ---------------------------------------------------------------------------
+
+
+def _vector_ewise(x: GBVector, y: GBVector, op: Optional[BinaryOp], union: bool) -> GBVector:
+    """Shared vector eWiseAdd/eWiseMult kernel over sorted index arrays."""
+    if x.size != y.size:
+        raise ValueError(f"size mismatch: {x.size} vs {y.size}")
+    both, ix, iy = np.intersect1d(x.indices, y.indices, assume_unique=True, return_indices=True)
+    combine = op if op is not None else (PLUS if union else TIMES)
+    vals_both = np.asarray(combine(x.values[ix], y.values[iy]))
+    if not union:
+        return GBVector(x.size, both, vals_both)
+    only_x = np.setdiff1d(np.arange(x.nvals), ix, assume_unique=True)
+    only_y = np.setdiff1d(np.arange(y.nvals), iy, assume_unique=True)
+    idx = np.concatenate((both, x.indices[only_x], y.indices[only_y]))
+    vals = np.concatenate((vals_both, x.values[only_x], y.values[only_y]))
+    return GBVector(x.size, idx, vals)
+
+
+def ewise_add(A, B, op: BinaryOp = None, mask: Optional[GBMatrix] = None, complement: bool = False):
+    """Element-wise "union" combine (``GrB_eWiseAdd``).
+
+    Where both operands have an entry, ``op`` combines them; where only
+    one does, its value passes through unchanged.  Default op is plus.
+    Accepts matrix pairs or vector pairs (vector form ignores masks).
+    """
+    if isinstance(A, GBVector) and isinstance(B, GBVector):
+        if mask is not None or complement:
+            raise ValueError("vector eWiseAdd does not take a matrix mask")
+        return _vector_ewise(A, B, op, union=True)
+    if A.shape != B.shape:
+        raise ValueError(f"shape mismatch: {A.shape} vs {B.shape}")
+    if op is None or op.name == "plus":
+        result = sp.csr_array(A.csr + B.csr)
+        return GBMatrix(_apply_matrix_mask(result, mask, complement))
+    ra, ca, va = _coo(A.csr)
+    rb, cb, vb = _coo(B.csr)
+    ncols = A.ncols
+    ka = ra * ncols + ca
+    kb = rb * ncols + cb
+    both = np.intersect1d(ka, kb, assume_unique=True)
+    only_a = np.setdiff1d(ka, both, assume_unique=True)
+    only_b = np.setdiff1d(kb, both, assume_unique=True)
+    # Values aligned to sorted keys (CSR canonical order is already
+    # sorted by (row, col), hence by key).
+    a_sorter = np.argsort(ka, kind="stable")
+    b_sorter = np.argsort(kb, kind="stable")
+    ka_s, va_s = ka[a_sorter], va[a_sorter]
+    kb_s, vb_s = kb[b_sorter], vb[b_sorter]
+    vals_both = op(va_s[np.searchsorted(ka_s, both)], vb_s[np.searchsorted(kb_s, both)])
+    keys = np.concatenate((both, only_a, only_b))
+    vals = np.concatenate(
+        (
+            np.asarray(vals_both),
+            va_s[np.searchsorted(ka_s, only_a)],
+            vb_s[np.searchsorted(kb_s, only_b)],
+        )
+    )
+    rows = (keys // ncols).astype(np.int64)
+    cols = (keys % ncols).astype(np.int64)
+    result = sp.csr_array(sp.coo_array((vals, (rows, cols)), shape=A.shape))
+    return GBMatrix(_apply_matrix_mask(result, mask, complement))
+
+
+def ewise_mult(A, B, op: BinaryOp = None, mask: Optional[GBMatrix] = None, complement: bool = False):
+    """Element-wise "intersection" combine (``GrB_eWiseMult``).
+
+    This is the paper's Hadamard product ``A ∘ B`` when ``op`` is times
+    (the default).  Accepts matrix pairs or vector pairs.
+    """
+    if isinstance(A, GBVector) and isinstance(B, GBVector):
+        if mask is not None or complement:
+            raise ValueError("vector eWiseMult does not take a matrix mask")
+        return _vector_ewise(A, B, op, union=False)
+    if A.shape != B.shape:
+        raise ValueError(f"shape mismatch: {A.shape} vs {B.shape}")
+    if op is None or op.name == "times":
+        result = sp.csr_array(A.csr.multiply(B.csr))
+        return GBMatrix(_apply_matrix_mask(result, mask, complement))
+    ra, ca, va = _coo(A.csr)
+    rb, cb, vb = _coo(B.csr)
+    ncols = A.ncols
+    ka = ra * ncols + ca
+    kb = rb * ncols + cb
+    both, ia, ib = np.intersect1d(ka, kb, assume_unique=True, return_indices=True)
+    vals = op(va[ia], vb[ib])
+    rows = (both // ncols).astype(np.int64)
+    cols = (both % ncols).astype(np.int64)
+    result = sp.csr_array(sp.coo_array((np.asarray(vals), (rows, cols)), shape=A.shape))
+    return GBMatrix(_apply_matrix_mask(result, mask, complement))
+
+
+# ---------------------------------------------------------------------------
+# Kronecker product
+# ---------------------------------------------------------------------------
+
+
+def kron(A: GBMatrix, B: GBMatrix, op: BinaryOp = TIMES, mask: Optional[GBMatrix] = None, complement: bool = False) -> GBMatrix:
+    """Kronecker product (``GrB_kronecker``), the paper's ``A ⊗ B``.
+
+    With the default times op this lowers to scipy's compiled kernel.
+    For other ops the COO expansion applies ``op`` to every value pair,
+    preserving the Kronecker coordinate map
+    ``(i*m_B + k, j*n_B + l) <- (A[i,j], B[k,l])``.
+    """
+    if op.name == "times":
+        result = sp.csr_array(sp.kron(A.csr, B.csr, format="csr"))
+        return GBMatrix(_apply_matrix_mask(result, mask, complement))
+    ra, ca, va = _coo(A.csr)
+    rb, cb, vb = _coo(B.csr)
+    mB, nB = B.shape
+    rows = (ra[:, None] * mB + rb[None, :]).ravel()
+    cols = (ca[:, None] * nB + cb[None, :]).ravel()
+    vals = np.asarray(op(np.repeat(va, vb.size), np.tile(vb, va.size)))
+    shape = (A.nrows * mB, A.ncols * nB)
+    result = sp.csr_array(sp.coo_array((vals, (rows, cols)), shape=shape))
+    return GBMatrix(_apply_matrix_mask(result, mask, complement))
+
+
+# ---------------------------------------------------------------------------
+# Reductions, apply, select, extract, transpose, diag
+# ---------------------------------------------------------------------------
+
+
+def reduce_rows(A: GBMatrix, monoid: Monoid = None) -> GBVector:
+    """Reduce each row to a scalar (``GrB_Matrix_reduce`` to vector).
+
+    With the default plus monoid this is the paper's ``A · 1`` (degree /
+    walk-count vector) computed without materializing the ones vector.
+    """
+    if monoid is None or monoid.name == "plus":
+        dense = np.asarray(A.csr.sum(axis=1)).ravel()
+        return GBVector.from_dense(dense)
+    rows, _, vals = _coo(A.csr)
+    return GBVector.from_dense(monoid.segment_reduce(vals, rows, A.nrows))
+
+
+def reduce_scalar(obj, monoid: Monoid = None):
+    """Reduce all stored values of a matrix or vector to one scalar."""
+    if isinstance(obj, GBMatrix):
+        values = obj.csr.data
+    elif isinstance(obj, GBVector):
+        values = obj.values
+    else:
+        raise TypeError(f"expected GBMatrix or GBVector, got {type(obj).__name__}")
+    if monoid is None:
+        return values.sum() if values.size else 0
+    return monoid.reduce(values)
+
+
+def apply(obj, op: UnaryOp):
+    """Apply a unary op to every stored value (``GrB_apply``)."""
+    if isinstance(obj, GBMatrix):
+        csr = obj.csr.copy()
+        csr.data = np.asarray(op(csr.data))
+        return GBMatrix(csr)
+    if isinstance(obj, GBVector):
+        return GBVector(obj.size, obj.indices.copy(), np.asarray(op(obj.values)))
+    raise TypeError(f"expected GBMatrix or GBVector, got {type(obj).__name__}")
+
+
+def select(A: GBMatrix, predicate) -> GBMatrix:
+    """Keep entries where ``predicate(rows, cols, values)`` is True.
+
+    ``predicate`` receives the three parallel COO arrays and must return
+    a boolean array (``GrB_select`` with a user-defined index op).
+    """
+    rows, cols, vals = _coo(A.csr)
+    keep = np.asarray(predicate(rows, cols, vals), dtype=bool)
+    if keep.shape != rows.shape:
+        raise ValueError("predicate must return one bool per stored entry")
+    result = sp.csr_array(sp.coo_array((vals[keep], (rows[keep], cols[keep])), shape=A.shape))
+    return GBMatrix(result)
+
+
+def extract(A: GBMatrix, row_indices, col_indices) -> GBMatrix:
+    """Extract the submatrix ``A[row_indices, :][:, col_indices]``."""
+    row_indices = np.asarray(row_indices, dtype=np.int64)
+    col_indices = np.asarray(col_indices, dtype=np.int64)
+    return GBMatrix(sp.csr_array(A.csr[row_indices, :][:, col_indices]))
+
+
+def transpose(A: GBMatrix) -> GBMatrix:
+    """Matrix transpose (``GrB_transpose``)."""
+    return GBMatrix(sp.csr_array(A.csr.T))
+
+
+def diag(obj):
+    """Diagonal extraction / construction (``GrB_Matrix_diag``).
+
+    * ``GBMatrix`` input: returns the diagonal as a :class:`GBVector`
+      (the paper's ``diag(A) = (I ∘ A) 1``).
+    * ``GBVector`` input: returns the diagonal matrix carrying the
+      vector's values.
+    """
+    if isinstance(obj, GBMatrix):
+        if obj.nrows != obj.ncols:
+            raise ValueError(f"diag extraction needs a square matrix, got {obj.shape}")
+        return GBVector.from_dense(obj.csr.diagonal())
+    if isinstance(obj, GBVector):
+        dense = obj.to_dense()
+        return GBMatrix(sp.csr_array(sp.diags_array(dense, format="csr", dtype=None)))
+    raise TypeError(f"expected GBMatrix or GBVector, got {type(obj).__name__}")

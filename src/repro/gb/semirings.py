@@ -1,0 +1,142 @@
+"""Standard operators, monoids and semirings.
+
+The names follow the GraphBLAS convention ``<ADD>_<MULTIPLY>``:
+``PLUS_TIMES`` is the conventional semiring of linear algebra,
+``LOR_LAND`` is the boolean reachability semiring, ``MIN_PLUS`` is the
+tropical (shortest-path) semiring, and so on.  The paper's ground-truth
+formulas use ``PLUS_TIMES`` exclusively; the others exist because the
+substrate is a general GraphBLAS layer (and they power the traversal /
+shortest-path code in :mod:`repro.graphs`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gb.types import BinaryOp, Monoid, Semiring, UnaryOp
+
+__all__ = [
+    # binary ops
+    "PLUS",
+    "TIMES",
+    "MIN",
+    "MAX",
+    "LOR",
+    "LAND",
+    "PAIR",
+    "FIRST",
+    "SECOND",
+    # unary ops
+    "IDENTITY",
+    "AINV",
+    "ONE",
+    # monoids
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "MIN_MONOID",
+    "MAX_MONOID",
+    "LOR_MONOID",
+    "LAND_MONOID",
+    # semirings
+    "PLUS_TIMES",
+    "LOR_LAND",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "MIN_TIMES",
+    "MAX_TIMES",
+    "MIN_MAX",
+    "PLUS_PAIR",
+]
+
+# ---------------------------------------------------------------------------
+# Binary operators
+# ---------------------------------------------------------------------------
+
+PLUS = BinaryOp("plus", np.add, commutative=True, associative=True)
+TIMES = BinaryOp("times", np.multiply, commutative=True, associative=True)
+MIN = BinaryOp("min", np.minimum, commutative=True, associative=True)
+MAX = BinaryOp("max", np.maximum, commutative=True, associative=True)
+LOR = BinaryOp("lor", np.logical_or, commutative=True, associative=True)
+LAND = BinaryOp("land", np.logical_and, commutative=True, associative=True)
+# PAIR ignores both operands and returns 1 -- the GraphBLAS trick for
+# structure-only products (e.g. counting, where PLUS_PAIR computes the
+# number of overlapping nonzeros per entry).
+PAIR = BinaryOp(
+    "pair",
+    lambda x, y: np.ones(np.broadcast(np.asarray(x), np.asarray(y)).shape, dtype=np.int64),
+    commutative=True,
+    associative=False,
+)
+FIRST = BinaryOp("first", lambda x, y: np.broadcast_arrays(np.asarray(x), np.asarray(y))[0].copy())
+SECOND = BinaryOp("second", lambda x, y: np.broadcast_arrays(np.asarray(x), np.asarray(y))[1].copy())
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+IDENTITY = UnaryOp("identity", lambda x: np.asarray(x).copy())
+AINV = UnaryOp("ainv", np.negative)
+ONE = UnaryOp("one", lambda x: np.ones_like(np.asarray(x)))
+
+# ---------------------------------------------------------------------------
+# Monoids (with fast whole-array and segment reductions)
+# ---------------------------------------------------------------------------
+
+
+def _segment_reduce_ufunc(ufunc, identity):
+    """Build a reduceat-based segment reducer for a numpy ufunc."""
+
+    def reducer(values: np.ndarray, segments: np.ndarray, n_segments: int) -> np.ndarray:
+        out = np.full(n_segments, identity, dtype=np.result_type(values.dtype, type(identity)))
+        if values.size == 0:
+            return out
+        boundaries = np.flatnonzero(np.diff(segments)) + 1
+        starts = np.concatenate(([0], boundaries))
+        reduced = ufunc.reduceat(values, starts)
+        out[segments[starts]] = reduced
+        return out
+
+    return reducer
+
+
+PLUS_MONOID = Monoid(
+    PLUS, 0, reduce_fn=np.add.reduce, segment_reduce_fn=_segment_reduce_ufunc(np.add, 0)
+)
+TIMES_MONOID = Monoid(
+    TIMES, 1, reduce_fn=np.multiply.reduce, segment_reduce_fn=_segment_reduce_ufunc(np.multiply, 1)
+)
+MIN_MONOID = Monoid(
+    MIN,
+    np.inf,
+    reduce_fn=np.minimum.reduce,
+    segment_reduce_fn=_segment_reduce_ufunc(np.minimum, np.inf),
+)
+MAX_MONOID = Monoid(
+    MAX,
+    -np.inf,
+    reduce_fn=np.maximum.reduce,
+    segment_reduce_fn=_segment_reduce_ufunc(np.maximum, -np.inf),
+)
+LOR_MONOID = Monoid(
+    LOR,
+    False,
+    reduce_fn=lambda v: bool(np.any(v)),
+    segment_reduce_fn=None,  # boolean path lowers to scipy; generic fallback is fine
+)
+LAND_MONOID = Monoid(LAND, True, reduce_fn=lambda v: bool(np.all(v)))
+
+# ---------------------------------------------------------------------------
+# Semirings
+# ---------------------------------------------------------------------------
+
+PLUS_TIMES = Semiring("plus_times", PLUS_MONOID, TIMES, lowering="plus_times")
+LOR_LAND = Semiring("lor_land", LOR_MONOID, LAND, lowering="boolean")
+MIN_PLUS = Semiring("min_plus", MIN_MONOID, PLUS)
+MAX_PLUS = Semiring("max_plus", MAX_MONOID, PLUS)
+MIN_TIMES = Semiring("min_times", MIN_MONOID, TIMES)
+MAX_TIMES = Semiring("max_times", MAX_MONOID, TIMES)
+MIN_MAX = Semiring("min_max", MIN_MONOID, MAX)
+# PLUS_PAIR counts the number of index overlaps -- e.g. mxm(A, A,
+# PLUS_PAIR) over a bipartite incidence gives co-neighbour (wedge)
+# counts, the key primitive for butterfly counting.
+PLUS_PAIR = Semiring("plus_pair", PLUS_MONOID, PAIR, lowering="boolean_count")

@@ -1,0 +1,141 @@
+"""Algebra descriptors: unary/binary operators, monoids, semirings.
+
+These mirror the GraphBLAS objects ``GrB_UnaryOp``, ``GrB_BinaryOp``,
+``GrB_Monoid`` and ``GrB_Semiring``.  Each descriptor carries a
+*vectorised* numpy callable so kernels in :mod:`repro.gb.ops` can apply
+it to whole arrays at once, plus enough metadata (identity, annihilator,
+name) for the generic kernels to short-circuit correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["UnaryOp", "BinaryOp", "Monoid", "Semiring"]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Element-wise unary operator ``z = f(x)``.
+
+    ``fn`` must accept and return numpy arrays (a ufunc or a vectorised
+    lambda).  ``name`` is used in reprs and error messages only.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, x):
+        return self.fn(np.asarray(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnaryOp({self.name})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Element-wise binary operator ``z = f(x, y)``.
+
+    ``fn`` must be vectorised over numpy arrays.  ``commutative`` and
+    ``associative`` are advisory flags used by kernels to pick faster
+    paths; they are trusted, not verified (verification lives in the
+    test suite, which property-checks every shipped operator).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    commutative: bool = False
+    associative: bool = False
+
+    def __call__(self, x, y):
+        return self.fn(np.asarray(x), np.asarray(y))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryOp({self.name})"
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative, commutative :class:`BinaryOp` with an identity.
+
+    ``reduce_fn``, when provided, is a fast whole-array reduction
+    (e.g. :func:`numpy.add.reduce`); kernels fall back to pairwise
+    application of ``op`` otherwise.
+    """
+
+    op: BinaryOp
+    identity: float
+    reduce_fn: Optional[Callable[[np.ndarray], float]] = None
+    # ``segment_reduce_fn(data, segment_ids, n_segments)`` reduces values
+    # sharing a segment id -- the workhorse behind masked reductions and
+    # the generic semiring mxm.  ``np.add.reduceat``-style kernels plug
+    # in here.
+    segment_reduce_fn: Optional[Callable[[np.ndarray, np.ndarray, int], np.ndarray]] = field(
+        default=None
+    )
+
+    @property
+    def name(self) -> str:
+        return self.op.name
+
+    def reduce(self, values: np.ndarray):
+        """Reduce a 1-D array to a scalar (identity for empty input)."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return self.identity
+        if self.reduce_fn is not None:
+            return self.reduce_fn(values)
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.op(acc, v)
+        return acc
+
+    def segment_reduce(self, values: np.ndarray, segments: np.ndarray, n_segments: int):
+        """Reduce ``values`` grouped by sorted ``segments`` ids.
+
+        ``segments`` must be sorted ascending.  Returns an array of
+        length ``n_segments`` filled with the monoid identity where a
+        segment has no entries.
+        """
+        values = np.asarray(values)
+        segments = np.asarray(segments)
+        out = np.full(n_segments, self.identity, dtype=np.result_type(values.dtype, type(self.identity)))
+        if values.size == 0:
+            return out
+        if self.segment_reduce_fn is not None:
+            return self.segment_reduce_fn(values, segments, n_segments)
+        # Generic path: find segment boundaries, reduce each slice.
+        boundaries = np.flatnonzero(np.diff(segments)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [values.size]))
+        ids = segments[starts]
+        for seg, s, e in zip(ids, starts, ends):
+            out[seg] = self.reduce(values[s:e])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Monoid({self.name}, identity={self.identity})"
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A GraphBLAS semiring: ``(add monoid, multiply binary op)``.
+
+    ``scipy_compatible`` marks semirings whose ``mxm`` can be lowered to
+    scipy's compiled ``+``/``*`` sparse matmul (``PLUS_TIMES`` itself and
+    semirings expressible through it, e.g. boolean ``LOR_LAND`` via
+    matmul-then-threshold, selected by ``lowering``).
+    """
+
+    name: str
+    add: Monoid
+    multiply: BinaryOp
+    # lowering: None (generic kernel), "plus_times" (direct scipy matmul)
+    # or "boolean" (scipy matmul on 1/0 data, then threshold to {0,1}).
+    lowering: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"

@@ -1,0 +1,113 @@
+"""Sparse vector container (``GrB_Vector`` analogue).
+
+A :class:`GBVector` stores a sorted index array and a parallel value
+array.  Explicit zeros are allowed (GraphBLAS distinguishes "stored
+zero" from "no entry"); callers that want the mathematical pattern use
+:meth:`GBVector.prune`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GBVector"]
+
+
+class GBVector:
+    """A sparse vector of length ``size`` with sorted coordinates.
+
+    Parameters
+    ----------
+    size:
+        Logical length of the vector.
+    indices, values:
+        Parallel arrays of stored entries.  Indices must be unique; they
+        are sorted on construction.
+    """
+
+    __slots__ = ("size", "indices", "values")
+
+    def __init__(self, size: int, indices=None, values=None):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.size = int(size)
+        if indices is None:
+            indices = np.empty(0, dtype=np.int64)
+        if values is None:
+            values = np.empty(0, dtype=np.float64)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values)
+        if indices.shape != values.shape or indices.ndim != 1:
+            raise ValueError("indices and values must be parallel 1-D arrays")
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= size:
+                raise ValueError("index out of range")
+            order = np.argsort(indices, kind="stable")
+            indices = indices[order]
+            values = values[order]
+            if np.any(np.diff(indices) == 0):
+                raise ValueError("duplicate indices in GBVector")
+        self.indices = indices
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, array) -> "GBVector":
+        """Build from a dense 1-D array, storing only nonzeros."""
+        array = np.asarray(array)
+        if array.ndim != 1:
+            raise ValueError(f"expected 1-D array, got shape {array.shape}")
+        idx = np.flatnonzero(array)
+        return cls(array.size, idx, array[idx])
+
+    @classmethod
+    def full(cls, size: int, value) -> "GBVector":
+        """A vector with every position holding ``value``."""
+        return cls(size, np.arange(size, dtype=np.int64), np.full(size, value))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def nvals(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    def to_dense(self, fill=0):
+        """Return a dense 1-D numpy array with ``fill`` where empty."""
+        dtype = np.result_type(self.values.dtype if self.values.size else np.float64, type(fill))
+        out = np.full(self.size, fill, dtype=dtype)
+        out[self.indices] = self.values
+        return out
+
+    def prune(self) -> "GBVector":
+        """Drop stored zeros, returning the mathematical pattern."""
+        keep = self.values != 0
+        return GBVector(self.size, self.indices[keep], self.values[keep])
+
+    def get(self, i: int, default=0):
+        """Value at position ``i`` (``default`` when no entry stored)."""
+        pos = np.searchsorted(self.indices, i)
+        if pos < self.indices.size and self.indices[pos] == i:
+            return self.values[pos]
+        return default
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GBVector):
+            return NotImplemented
+        a, b = self.prune(), other.prune()
+        return (
+            a.size == b.size
+            and np.array_equal(a.indices, b.indices)
+            and np.array_equal(a.values, b.values)
+        )
+
+    def __hash__(self):  # pragma: no cover - containers of vectors unused
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GBVector(size={self.size}, nvals={self.nvals})"

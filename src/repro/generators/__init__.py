@@ -1,0 +1,66 @@
+"""Graph generators: factors, stochastic baselines, and paper examples.
+
+* :mod:`~repro.generators.classic` -- deterministic families (paths,
+  cycles, stars, bicliques, grids, trees, ...) used as Kronecker
+  factors and in unit tests.
+* :mod:`~repro.generators.examples` -- the exact small factor trio of
+  the paper's Fig. 1 plus their products.
+* :mod:`~repro.generators.scale_free` -- small connected scale-free
+  factor builders (preferential attachment, with bipartite and
+  non-bipartite variants), the paper's "two small connected scale-free
+  graphs".
+* :mod:`~repro.generators.chung_lu` -- bipartite Chung-Lu with
+  power-law expected degrees.
+* :mod:`~repro.generators.rmat` -- R-MAT and bipartite R-MAT, the
+  stochastic Kronecker baselines the paper contrasts against (§I).
+* :mod:`~repro.generators.bter` -- a bipartite BTER-style generator
+  (Aksoy-Kolda-Pinar [27]) with planted community blocks.
+* :mod:`~repro.generators.konect_like` -- deterministic synthetic
+  stand-in for the Konect ``unicode`` network used in §IV (see
+  DESIGN.md §4 for the substitution rationale).
+"""
+
+from repro.generators.bter import bipartite_bter
+from repro.generators.chung_lu import bipartite_chung_lu, powerlaw_weights
+from repro.generators.classic import (
+    balanced_tree,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+from repro.generators.examples import fig1_bottom_left, fig1_bottom_right, fig1_top, fig1_trio
+from repro.generators.konect_like import konect_unicode_like
+from repro.generators.rmat import bipartite_rmat, rmat
+from repro.generators.scale_free import (
+    preferential_attachment,
+    scale_free_bipartite_factor,
+    scale_free_nonbipartite_factor,
+)
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_graph",
+    "balanced_tree",
+    "wheel_graph",
+    "fig1_top",
+    "fig1_bottom_left",
+    "fig1_bottom_right",
+    "fig1_trio",
+    "preferential_attachment",
+    "scale_free_bipartite_factor",
+    "scale_free_nonbipartite_factor",
+    "bipartite_chung_lu",
+    "powerlaw_weights",
+    "rmat",
+    "bipartite_rmat",
+    "bipartite_bter",
+    "konect_unicode_like",
+]

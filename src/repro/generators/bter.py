@@ -1,0 +1,112 @@
+"""Bipartite BTER-style generator (Aksoy, Kolda, Pinar [27]).
+
+The paper cites bipartite BTER as the stochastic generator "fairly
+capable of matching degree-binned average of a type of bipartite
+clustering coefficient" -- i.e. the strongest stochastic competitor on
+*local 4-cycle structure*.  We implement the two-phase scheme:
+
+1. **Affinity blocks:** vertices of each part are bucketed by target
+   degree; matching buckets are paired into dense bipartite
+   Erdős-Rényi blocks whose internal density ``rho`` injects 4-cycles
+   (community structure).
+2. **Excess-degree phase:** whatever expected degree the blocks did not
+   consume is wired up globally with bipartite Chung-Lu.
+
+This is deliberately the *simplified* BTER skeleton -- enough to give
+the benchmark harness a stochastic baseline with tunable butterfly
+density; the original's degree-matching refinements are out of scope
+(and orthogonal to the paper's claims).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["bipartite_bter"]
+
+
+def bipartite_bter(
+    degrees_u,
+    degrees_w,
+    block_size: int = 8,
+    rho: float = 0.7,
+    seed=None,
+) -> BipartiteGraph:
+    """Generate a bipartite BTER-style graph.
+
+    Parameters
+    ----------
+    degrees_u, degrees_w:
+        Target degree sequences for the two parts (any positive
+        numbers; treated as expected degrees).
+    block_size:
+        Vertices per part per affinity block.  Vertices are sorted by
+        target degree so blocks group similar-degree vertices, as in
+        BTER proper.
+    rho:
+        Internal edge density of each affinity block (the knob that
+        controls how many butterflies the communities contribute).
+    """
+    du = np.asarray(degrees_u, dtype=np.float64)
+    dw = np.asarray(degrees_w, dtype=np.float64)
+    if du.ndim != 1 or dw.ndim != 1:
+        raise ValueError("degree sequences must be 1-D")
+    if np.any(du < 0) or np.any(dw < 0):
+        raise ValueError("degrees must be non-negative")
+    block_size = check_positive(block_size, "block_size")
+    rho = check_probability(rho, "rho")
+    rng = as_generator(seed)
+    nu, nw = du.size, dw.size
+
+    # Phase 1: affinity blocks.  Sort each side by degree descending,
+    # chunk into blocks, pair block k of U with block k of W.
+    order_u = np.argsort(-du, kind="stable")
+    order_w = np.argsort(-dw, kind="stable")
+    n_blocks = min(
+        (nu + block_size - 1) // block_size,
+        (nw + block_size - 1) // block_size,
+    )
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    consumed_u = np.zeros(nu)
+    consumed_w = np.zeros(nw)
+    for k in range(n_blocks):
+        bu = order_u[k * block_size : (k + 1) * block_size]
+        bw = order_w[k * block_size : (k + 1) * block_size]
+        if bu.size == 0 or bw.size == 0:
+            break
+        hits = rng.random((bu.size, bw.size)) < rho
+        r, c = np.nonzero(hits)
+        rows_parts.append(bu[r])
+        cols_parts.append(bw[c])
+        # Expected within-block degree consumed by this phase.
+        consumed_u[bu] += rho * bw.size
+        consumed_w[bw] += rho * bu.size
+
+    # Phase 2: excess degrees through Chung-Lu.
+    excess_u = np.maximum(du - consumed_u, 0.0)
+    excess_w = np.maximum(dw - consumed_w, 0.0)
+    if excess_u.sum() > 0 and excess_w.sum() > 0:
+        su, sw = excess_u.sum(), excess_w.sum()
+        S = float(np.sqrt(su * sw))
+        theta_u = excess_u * (S / su)
+        theta_w = excess_w * (S / sw)
+        probs = np.minimum(np.outer(theta_u, theta_w) / S, 1.0)
+        hits = rng.random(probs.shape) < probs
+        r, c = np.nonzero(hits)
+        rows_parts.append(r)
+        cols_parts.append(c)
+
+    if rows_parts:
+        rows = np.concatenate(rows_parts)
+        cols = np.concatenate(cols_parts)
+    else:  # pragma: no cover - degenerate all-zero input
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+    X = sp.coo_array((np.ones(rows.size, dtype=np.int64), (rows, cols)), shape=(nu, nw))
+    return BipartiteGraph.from_biadjacency(sp.csr_array(X))

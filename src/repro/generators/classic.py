@@ -1,0 +1,110 @@
+"""Deterministic classic graph families.
+
+These are the small, analytically tractable factors used throughout the
+paper's derivations and our tests: paths and even cycles are bipartite,
+odd cycles and wheels are the canonical non-bipartite factors for
+Assumption 1(i), stars are the extreme heavy-tail bipartite factor, and
+complete bipartite graphs (bicliques) are the densest bipartite
+structures (§I: "the densest possible structures are bicliques").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_graph",
+    "balanced_tree",
+    "wheel_graph",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path ``P_n`` on ``n`` vertices (bipartite, connected for n >= 1)."""
+    n = check_positive(n, "n")
+    u = np.arange(n - 1, dtype=np.int64)
+    return Graph.from_edge_arrays(n, u, u + 1)
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle ``C_n`` (bipartite iff ``n`` is even; ``n >= 3``)."""
+    n = check_positive(n, "n")
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    u = np.arange(n, dtype=np.int64)
+    return Graph.from_edge_arrays(n, u, (u + 1) % n)
+
+
+def star_graph(leaves: int) -> Graph:
+    """Star ``K_{1,leaves}``: hub 0 joined to ``leaves`` leaf vertices."""
+    leaves = check_nonnegative(leaves, "leaves")
+    n = leaves + 1
+    u = np.zeros(leaves, dtype=np.int64)
+    v = np.arange(1, n, dtype=np.int64)
+    return Graph.from_edge_arrays(n, u, v)
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph ``K_n`` (non-bipartite for ``n >= 3``)."""
+    n = check_positive(n, "n")
+    i, j = np.triu_indices(n, k=1)
+    return Graph.from_edge_arrays(n, i.astype(np.int64), j.astype(np.int64))
+
+
+def complete_bipartite(nu: int, nw: int) -> BipartiteGraph:
+    """Biclique ``K_{nu,nw}``: the densest bipartite structure."""
+    nu = check_positive(nu, "nu")
+    nw = check_positive(nw, "nw")
+    X = np.ones((nu, nw), dtype=np.int64)
+    return BipartiteGraph.from_biadjacency(X)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` 2-D lattice (bipartite, connected)."""
+    rows = check_positive(rows, "rows")
+    cols = check_positive(cols, "cols")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    h_u, h_v = idx[:, :-1].ravel(), idx[:, 1:].ravel()
+    v_u, v_v = idx[:-1, :].ravel(), idx[1:, :].ravel()
+    return Graph.from_edge_arrays(
+        rows * cols, np.concatenate((h_u, v_u)), np.concatenate((h_v, v_v))
+    )
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given height (bipartite)."""
+    branching = check_positive(branching, "branching")
+    height = check_nonnegative(height, "height")
+    if branching == 1:
+        return path_graph(height + 1)
+    n = (branching ** (height + 1) - 1) // (branching - 1)
+    children = np.arange(1, n, dtype=np.int64)
+    parents = (children - 1) // branching
+    return Graph.from_edge_arrays(n, parents, children)
+
+
+def wheel_graph(rim: int) -> Graph:
+    """Wheel ``W_rim``: a hub joined to every vertex of ``C_rim``.
+
+    Always non-bipartite (contains triangles), making it a convenient
+    Assumption-1(i) factor ``A`` with a heavy hub degree.
+    """
+    rim = check_positive(rim, "rim")
+    if rim < 3:
+        raise ValueError(f"wheel needs rim >= 3, got {rim}")
+    n = rim + 1
+    ring = np.arange(1, n, dtype=np.int64)
+    ring_next = np.concatenate((ring[1:], ring[:1]))
+    spokes_u = np.zeros(rim, dtype=np.int64)
+    return Graph.from_edge_arrays(
+        n, np.concatenate((ring, spokes_u)), np.concatenate((ring_next, ring))
+    )

@@ -1,0 +1,68 @@
+"""Graph substrate: containers, structure tests, traversal, statistics.
+
+Everything the Kronecker layer and the validation analytics need to talk
+about graphs lives here:
+
+* :class:`~repro.graphs.graph.Graph` -- immutable undirected graph over
+  a canonical CSR adjacency matrix (self loops allowed).
+* :class:`~repro.graphs.bipartite.BipartiteGraph` and
+  :func:`~repro.graphs.bipartite.bipartition` -- the two-colouring
+  machinery of the paper's Def. 7, including odd-cycle certificates.
+* :mod:`~repro.graphs.connectivity` -- connected components (vectorised
+  BFS) and a union-find for edge streams.
+* :mod:`~repro.graphs.traversal` -- BFS levels, hop distances,
+  eccentricity / diameter / radius.
+* :mod:`~repro.graphs.degree` -- degree vectors, distributions and
+  heavy-tail diagnostics.
+* :mod:`~repro.graphs.degeneracy` -- k-core peeling and the degeneracy
+  number (the paper's ``δ(G)``, §I).
+* :mod:`~repro.graphs.io` -- edge-list and Matrix-Market-subset I/O.
+"""
+
+from repro.graphs.bipartite import BipartiteGraph, bipartition, is_bipartite
+from repro.graphs.connectivity import UnionFind, connected_components, is_connected
+from repro.graphs.degeneracy import core_decomposition, degeneracy
+from repro.graphs.degree import degree_distribution, degree_statistics, powerlaw_slope
+from repro.graphs.graph import Graph
+from repro.graphs.matching import matching_number, maximum_matching
+from repro.graphs.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.graphs.traversal import (
+    bfs_levels,
+    diameter,
+    eccentricities,
+    eccentricity,
+    hop_distance,
+    radius,
+)
+
+__all__ = [
+    "Graph",
+    "BipartiteGraph",
+    "bipartition",
+    "is_bipartite",
+    "connected_components",
+    "is_connected",
+    "UnionFind",
+    "bfs_levels",
+    "hop_distance",
+    "eccentricity",
+    "eccentricities",
+    "diameter",
+    "radius",
+    "degree_distribution",
+    "degree_statistics",
+    "powerlaw_slope",
+    "core_decomposition",
+    "degeneracy",
+    "maximum_matching",
+    "matching_number",
+    "read_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+]

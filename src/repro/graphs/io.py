@@ -1,0 +1,133 @@
+"""Graph I/O: whitespace edge lists and a Matrix Market subset.
+
+The Konect / SNAP / SuiteSparse collections the paper cites distribute
+graphs as edge lists or Matrix Market files; these readers let users
+drop a real downloaded factor (e.g. the actual ``unicode`` network)
+into the harness in place of our synthetic stand-in.
+
+The Matrix Market support covers the subset those collections use:
+``matrix coordinate (integer|real|pattern) (general|symmetric)``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(path: PathLike, n: int | None = None, comment: str = "#", one_based: bool = False) -> Graph:
+    """Read a whitespace-separated edge list into a :class:`Graph`.
+
+    Lines starting with ``comment`` are skipped; only the first two
+    columns are read (weights, timestamps etc. are ignored, matching the
+    binary-adjacency substrate).  ``n`` defaults to ``max index + 1``.
+    """
+    us, vs = [], []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(comment) or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+    u = np.asarray(us, dtype=np.int64)
+    v = np.asarray(vs, dtype=np.int64)
+    if one_based:
+        u -= 1
+        v -= 1
+    if u.size and (u.min() < 0 or v.min() < 0):
+        raise ValueError("negative vertex index (is the file 1-based? pass one_based=True)")
+    inferred = int(max(u.max(initial=-1), v.max(initial=-1))) + 1 if u.size else 0
+    if n is None:
+        n = inferred
+    elif n < inferred:
+        raise ValueError(f"n={n} smaller than max index + 1 = {inferred}")
+    return Graph.from_edge_arrays(n, u, v)
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write each undirected edge once as ``u v`` (0-based)."""
+    u, v = graph.edge_arrays()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# repro edge list: n={graph.n} m={graph.m}\n")
+        for a, b in zip(u.tolist(), v.tolist()):
+            fh.write(f"{a} {b}\n")
+
+
+def read_matrix_market(path: PathLike):
+    """Read a Matrix Market coordinate file.
+
+    Returns a :class:`Graph` for square symmetric/general inputs and a
+    :class:`BipartiteGraph` (built from the biadjacency) for rectangular
+    inputs -- the convention Konect uses for bipartite networks.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a Matrix Market file (missing %%MatrixMarket header)")
+        tokens = header.split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise ValueError(f"unsupported Matrix Market header: {header!r}")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("integer", "real", "pattern"):
+            raise ValueError(f"unsupported field type: {field}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"unsupported symmetry: {symmetry}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nrows, ncols, nnz = (int(x) for x in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+    data = np.ones(nnz, dtype=np.int64)
+    mat = sp.coo_array((data, (rows, cols)), shape=(nrows, ncols))
+    if nrows == ncols:
+        if symmetry == "symmetric":
+            mat = mat + mat.T
+        return Graph(sp.csr_array(mat))
+    return BipartiteGraph.from_biadjacency(sp.csr_array(mat))
+
+
+def write_matrix_market(obj, path: PathLike) -> None:
+    """Write a :class:`Graph` (symmetric) or :class:`BipartiteGraph`
+    (rectangular biadjacency) in coordinate pattern format."""
+    if isinstance(obj, BipartiteGraph):
+        X = obj.biadjacency().tocoo()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("%%MatrixMarket matrix coordinate pattern general\n")
+            fh.write(f"{X.shape[0]} {X.shape[1]} {X.nnz}\n")
+            for r, c in zip(X.row.tolist(), X.col.tolist()):
+                fh.write(f"{r + 1} {c + 1}\n")
+        return
+    if isinstance(obj, Graph):
+        u, v = obj.edge_arrays()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+            fh.write(f"{obj.n} {obj.n} {u.size}\n")
+            # MM symmetric stores the lower triangle: row >= col.
+            for a, b in zip(v.tolist(), u.tolist()):
+                fh.write(f"{a + 1} {b + 1}\n")
+        return
+    raise TypeError(f"expected Graph or BipartiteGraph, got {type(obj).__name__}")

@@ -1,0 +1,216 @@
+"""Bipartite community structure under Kronecker products (§III-C).
+
+Def. 11 fixes the accounting for a bipartite community
+``S = R ∪ T`` (``R ⊂ U``, ``T ⊂ W``):
+
+* internal edge count     ``m_in(S)  = ½ 1_Sᵗ A 1_S``
+* external edge count     ``m_out(S) = 1_Sᵗ A (1 - 1_S)``
+* internal density        ``ρ_in  = m_in / (|R| |T|)``
+* external density        ``ρ_out = m_out / (|R||W| + |U||T| - 2|R||T|)``
+
+Def. 12 builds the product community ``S_C = S_A ⊗ S_B`` for
+``C = (A + I_A) ⊗ B`` and splits it into parts
+``R_C = {R_A ⊗ R_B} ∪ {T_A ⊗ R_B}`` and
+``T_C = {R_A ⊗ T_B} ∪ {T_A ⊗ T_B}`` (the product's bipartition follows
+the ``B`` coordinate).
+
+Thm. 7 gives the exact product counts, and Cors. 1-2 the density
+scaling laws:
+
+* ``m_in(S_C)  = 2 m_in(S_A) m_in(S_B) + |S_A| m_in(S_B)``
+* ``m_out(S_C) = m_out(S_A) m_out(S_B) + 2 m_out(S_A) m_in(S_B)
+  + |S_A| m_out(S_B) + 2 m_in(S_A) m_out(S_B)``
+* Cor. 1: ``ρ_in(S_C)  >= 2 ω ρ_in(S_A) ρ_in(S_B)`` with
+  ``ω = min(|R_A|, |T_A|) / |S_A|``
+* Cor. 2: ``ρ_out(S_C) <= (1+ξ_A)(1+ξ_B) / (1-ε²) ρ_out(S_A) ρ_out(S_B)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.kronecker.assumptions import Assumption, BipartiteKronecker
+
+__all__ = [
+    "BipartiteCommunity",
+    "community_counts",
+    "community_densities",
+    "product_community",
+    "thm7_product_counts",
+    "cor1_internal_density_bound",
+    "cor2_external_density_bound",
+]
+
+
+@dataclass(frozen=True)
+class BipartiteCommunity:
+    """A community ``S = R ∪ T`` inside a bipartite graph.
+
+    ``members`` is the sorted array of vertex ids; the ``R``/``T``
+    split is derived from the host graph's parts at construction.
+    """
+
+    host: BipartiteGraph
+    members: np.ndarray
+
+    def __post_init__(self):
+        members = np.unique(np.asarray(self.members, dtype=np.int64))
+        if members.size and (members.min() < 0 or members.max() >= self.host.n):
+            raise ValueError("community member out of range")
+        object.__setattr__(self, "members", members)
+
+    @property
+    def R(self) -> np.ndarray:
+        """Members in the host's ``U`` part."""
+        return self.members[~self.host.part[self.members]]
+
+    @property
+    def T(self) -> np.ndarray:
+        """Members in the host's ``W`` part."""
+        return self.members[self.host.part[self.members]]
+
+    @property
+    def size(self) -> int:
+        return int(self.members.size)
+
+    def indicator(self) -> np.ndarray:
+        """Dense 0/1 indicator ``1_S``."""
+        out = np.zeros(self.host.n, dtype=np.int64)
+        out[self.members] = 1
+        return out
+
+
+def community_counts(comm: BipartiteCommunity) -> tuple[int, int]:
+    """``(m_in, m_out)`` of Def. 11, evaluated on the host adjacency."""
+    A = comm.host.graph.adj
+    ind = comm.indicator()
+    inside = int(ind @ (A @ ind))
+    m_in, rem = divmod(inside, 2)
+    assert rem == 0, "1ᵗ A 1 over a symmetric loop-free A is even"
+    total_incident = int(ind @ (A @ np.ones(A.shape[0], dtype=np.int64)))
+    m_out = total_incident - inside
+    return m_in, m_out
+
+
+def community_densities(comm: BipartiteCommunity) -> tuple[float, float]:
+    """``(ρ_in, ρ_out)`` of Def. 11.
+
+    ``ρ_in`` is 0-denominator-safe: communities living on one side only
+    have no internal pairs; we report 0.0 there (and tests pin this).
+    """
+    m_in, m_out = community_counts(comm)
+    r, t = comm.R.size, comm.T.size
+    u = comm.host.U.size
+    w = comm.host.W.size
+    denom_in = r * t
+    rho_in = m_in / denom_in if denom_in else 0.0
+    denom_out = r * w + u * t - 2 * r * t
+    rho_out = m_out / denom_out if denom_out else 0.0
+    return rho_in, rho_out
+
+
+def product_community(
+    bk: BipartiteKronecker,
+    comm_a: BipartiteCommunity,
+    comm_b: BipartiteCommunity,
+) -> BipartiteCommunity:
+    """Def. 12: the product community ``S_C = S_A ⊗ S_B``.
+
+    Requires Assumption 1(ii) (the section's standing hypothesis) with
+    ``comm_a`` living in ``bk``'s bipartite ``A`` and ``comm_b`` in
+    ``B``.  Members are ``{ γ(i, k) : i ∈ S_A, k ∈ S_B }``; the
+    ``R_C``/``T_C`` split of Def. 12 then coincides with the product's
+    bipartition restricted to ``S_C``, which is what
+    :class:`BipartiteCommunity` derives automatically.
+    """
+    if bk.assumption is not Assumption.SELF_LOOPS_FACTOR:
+        raise ValueError("product communities are defined for Assumption 1(ii) products (§III-C)")
+    if bk.A_bipartite is None or not np.array_equal(comm_a.host.part, bk.A_bipartite.part):
+        raise ValueError("comm_a must live in the product's bipartite factor A")
+    if not np.array_equal(comm_b.host.part, bk.B.part):
+        raise ValueError("comm_b must live in the product's factor B")
+    n_b = bk.B.graph.n
+    members = (comm_a.members[:, None] * n_b + comm_b.members[None, :]).ravel()
+    return BipartiteCommunity(bk.materialize_bipartite(), members)
+
+
+def thm7_product_counts(
+    comm_a: BipartiteCommunity, comm_b: BipartiteCommunity
+) -> tuple[int, int]:
+    """Thm. 7: exact ``(m_in(S_C), m_out(S_C))`` from factor counts.
+
+    Computed purely from the factor communities -- no product is
+    formed; tests cross-check against :func:`community_counts` on the
+    materialized product community.
+    """
+    mia, moa = community_counts(comm_a)
+    mib, mob = community_counts(comm_b)
+    s_a = comm_a.size
+    m_in = 2 * mia * mib + s_a * mib
+    m_out = moa * mob + 2 * moa * mib + s_a * mob + 2 * mia * mob
+    return m_in, m_out
+
+
+def cor1_internal_density_bound(
+    comm_a: BipartiteCommunity, comm_b: BipartiteCommunity, tight: bool = False
+) -> float:
+    """Cor. 1's lower bound on ``ρ_in(S_C)``.
+
+    .. note::
+       The paper prints ``ρ_in(S_C) >= 2 ω ρ_in(S_A) ρ_in(S_B)``, but
+       with Def. 11's ``ρ_in = m_in / (|R| |T|)`` the derivation gives
+
+           ρ_in(S_C) > 2 θ ρ_in(S_A) ρ_in(S_B) >= ω ρ_in(S_A) ρ_in(S_B)
+
+       with ``θ = |R_A||T_A| / |S_A|²  = ω(1-ω)`` (and ``2ω(1-ω) >= ω``
+       for ``ω <= 1/2``).  The printed ``2ω`` constant over-claims by a
+       factor of 2 -- our property tests exhibit communities violating
+       it while satisfying the corrected bound.  See DESIGN.md
+       "Paper errata".
+
+    ``tight=True`` returns the sharper ``2 θ`` version; the default is
+    the simple ``ω`` form.  ``ω = min(|R_A|, |T_A|) / |S_A|``;
+    degenerate one-sided ``S_A`` gives a vacuous bound of 0.
+    """
+    rho_a, _ = community_densities(comm_a)
+    rho_b, _ = community_densities(comm_b)
+    s_a = comm_a.size
+    if s_a == 0:
+        return 0.0
+    if tight:
+        theta = comm_a.R.size * comm_a.T.size / (s_a * s_a)
+        return 2.0 * theta * rho_a * rho_b
+    omega = min(comm_a.R.size, comm_a.T.size) / s_a
+    return omega * rho_a * rho_b
+
+
+def cor2_external_density_bound(
+    comm_a: BipartiteCommunity, comm_b: BipartiteCommunity
+) -> float:
+    """Cor. 2's upper bound on ``ρ_out(S_C)``.
+
+    ``(1 + ξ_A)(1 + ξ_B) / (1 - ε²) * ρ_out(S_A) ρ_out(S_B)`` with
+    ``ξ_S = (2 m_in(S) + |S|) / m_out(S)`` and
+    ``ε = max(|S_A|/|V_A|, |R_B|/|U_B|, |T_B|/|W_B|)``.
+    Returns ``inf`` when a community has no external edges (ξ blows
+    up) or fills an entire part (ε = 1) -- the bound is vacuous there.
+    """
+    mia, moa = community_counts(comm_a)
+    mib, mob = community_counts(comm_b)
+    if moa == 0 or mob == 0:
+        return float("inf")
+    _, rho_out_a = community_densities(comm_a)
+    _, rho_out_b = community_densities(comm_b)
+    xi_a = (2 * mia + comm_a.size) / moa
+    xi_b = (2 * mib + comm_b.size) / mob
+    eps = max(
+        comm_a.size / comm_a.host.n,
+        comm_b.R.size / max(comm_b.host.U.size, 1),
+        comm_b.T.size / max(comm_b.host.W.size, 1),
+    )
+    if eps >= 1.0:
+        return float("inf")
+    return (1 + xi_a) * (1 + xi_b) / (1 - eps * eps) * rho_out_a * rho_out_b

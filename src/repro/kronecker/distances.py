@@ -1,0 +1,197 @@
+"""Ground-truth hop distances, eccentricities and diameter (§I claim).
+
+The paper states that "formulas for ground truth of many graph
+properties (including degree, diameter, and eccentricity) carry over
+directly from the general case presented in previous work [2], [3]".
+This module supplies those formulas for the two bipartite assumptions,
+derived from the walk factorisation in the Thm. 1/2 proofs:
+
+    W_C^{(h)}(p, q) = W_M^{(h)}(i, j) * W_B^{(h)}(k, l)
+
+so ``hops_C(p, q)`` is the least ``h`` at which both factor walk counts
+are simultaneously positive.  Two facts close the argument:
+
+* In a connected graph with >= 2 vertices, a positive ``h``-walk
+  implies a positive ``(h+2)``-walk (traverse any incident edge back
+  and forth), so each factor's feasible set is "everything of one
+  parity above a threshold" -- or everything above a threshold, when
+  the factor is non-bipartite (odd cycle) or lazy (self loops).
+* For bipartite ``B``, the parity of every ``k -> l`` walk equals the
+  parity of ``hops_B(k, l)``.
+
+This yields closed forms per assumption (``h_B = hops_B(k, l)``):
+
+**Assumption 1(ii)** (``M = A + I_A``, lazy walks, no parity
+constraint on the left): ``hops_C = max(hops_A(i, j), h_B)`` --
+*except* that a length-``h`` lazy walk needs ``h >= hops_A``, and any
+``h >= hops_A`` works, so the max is exact.
+
+**Assumption 1(i)** (``M = A`` non-bipartite): walks in ``A`` of
+parity ``π`` exist for every length ``>= hops_A^π(i, j)``, the
+*parity-constrained distance* (computed by BFS on the bipartite
+double cover of ``A``).  The product constraint forces parity
+``π = h_B mod 2``, giving ``hops_C = max(hops_A^{h_B mod 2}(i, j), h_B)``.
+
+From ``hops_C``, eccentricities and the diameter follow by maximising
+over factor pairs -- all computed from factor-sized BFS tables (plus a
+factor-sized double cover), never touching the product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_levels
+from repro.kronecker.assumptions import Assumption, BipartiteKronecker
+
+__all__ = [
+    "parity_distances",
+    "all_pairs_hops",
+    "product_hop_distance",
+    "product_eccentricities",
+    "product_diameter",
+]
+
+
+def all_pairs_hops(graph: Graph) -> np.ndarray:
+    """Dense all-pairs hop distance matrix (``-1`` for unreachable).
+
+    One vectorised BFS per source; O(n(n+m)) total, fine at factor
+    scale (the whole point is that only factors are ever traversed).
+    """
+    n = graph.n
+    out = np.full((n, n), -1, dtype=np.int64)
+    for v in range(n):
+        out[v] = bfs_levels(graph, v)
+    return out
+
+
+def parity_distances(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Parity-constrained all-pairs distances via the bipartite double
+    cover.
+
+    Returns ``(even, odd)`` matrices where ``even[i, j]`` is the length
+    of the shortest **even**-length walk from ``i`` to ``j`` (likewise
+    ``odd``), or ``-1`` when no walk of that parity exists.  The double
+    cover has vertices ``(v, parity)``; an edge ``(u, v)`` connects
+    ``(u, 0)-(v, 1)`` and ``(u, 1)-(v, 0)``, so BFS distance from
+    ``(i, 0)`` to ``(j, π)`` is exactly the shortest walk of parity
+    ``π`` (walks may repeat edges, which BFS on the cover allows by
+    construction).
+    """
+    n = graph.n
+    adj = graph.adj
+    if graph.has_self_loops:
+        raise ValueError("parity distances assume a loop-free graph (a loop collapses parity)")
+    # Double cover adjacency: [[0, A], [A, 0]] with layer 0 = even steps.
+    zero = sp.csr_array((n, n), dtype=np.int64)
+    cover = Graph(sp.vstack([sp.hstack([zero, adj]), sp.hstack([adj, zero])]))
+    even = np.full((n, n), -1, dtype=np.int64)
+    odd = np.full((n, n), -1, dtype=np.int64)
+    for v in range(n):
+        levels = bfs_levels(cover, v)  # start in the even layer
+        even[v] = levels[:n]
+        odd[v] = levels[n:]
+    return even, odd
+
+
+def _pairwise_product_hops(bk: BipartiteKronecker):
+    """Return the (n_A, n_A, n_B, n_B)-indexable hop machinery.
+
+    Internal helper producing the factor tables needed by all public
+    functions; everything is factor-sized.
+    """
+    hops_b = all_pairs_hops(bk.B.graph)
+    if bk.assumption is Assumption.SELF_LOOPS_FACTOR:
+        hops_a = all_pairs_hops(bk.A)
+        return ("lazy", hops_a, None, hops_b)
+    even_a, odd_a = parity_distances(bk.A)
+    return ("parity", even_a, odd_a, hops_b)
+
+
+def product_hop_distance(bk: BipartiteKronecker, p: int, q: int) -> int:
+    """Exact ``hops_C(p, q)`` from factor tables (``-1`` unreachable)."""
+    table = _pairwise_product_hops(bk)
+    return _hops_from_tables(bk, table, p, q)
+
+
+def _hops_from_tables(bk, table, p: int, q: int) -> int:
+    kind, t1, t2, hops_b = table
+    n_b = bk.B.graph.n
+    i, k = divmod(p, n_b)
+    j, l = divmod(q, n_b)
+    h_b = hops_b[k, l]
+    if h_b < 0:
+        return -1
+    if kind == "lazy":
+        h_a = t1[i, j]
+        if h_a < 0:
+            return -1
+        if p == q:
+            return 0
+        h = max(int(h_a), int(h_b))
+        # B-side walks need h ≡ h_b (mod 2) and h >= h_b; bump by one if
+        # the lazy left side forced an off-parity max.
+        if (h - h_b) % 2 == 1:
+            h += 1
+        return h
+    # Assumption 1(i): parity-constrained left side.
+    parity = int(h_b % 2)
+    h_a = (t1 if parity == 0 else t2)[i, j]
+    if h_a < 0:
+        return -1
+    if p == q:
+        return 0
+    return max(int(h_a), int(h_b))
+
+
+def product_eccentricities(bk: BipartiteKronecker) -> np.ndarray:
+    """Exact eccentricity of every product vertex, in closed form.
+
+    The per-pair max decouples (docs/derivations.md §4b).  Because a
+    connected ``B`` on >= 2 vertices has targets of *both* parities
+    from every ``k`` (``l = k`` gives even 0, any neighbour gives odd
+    1), maximising ``hops_C((i,k), ·)`` over all ``(j, l)`` collapses
+    to factor eccentricity vectors:
+
+    * **Assumption 1(ii)** (lazy left walks)::
+
+          ecc_C(γ(i,k)) = max( ecc_A(i) + 1, ecc_B(k) )
+
+      -- the ``+1`` is the parity bump: a ``(j, l=k)`` pair with
+      ``hops_A(i,j) = ecc_A(i)`` and the wrong parity rounds up, and
+      such a pair always exists.
+
+    * **Assumption 1(i)** (parity-constrained left walks)::
+
+          ecc_C(γ(i,k)) = max( ecc_A⁰(i), ecc_A¹(i), ecc_B(k) )
+
+      where ``ecc_A^π(i)`` is the largest parity-``π``-constrained
+      distance from ``i`` (double-cover BFS).
+
+    Total cost after the factor distance tables: O(n_A + n_B) -- the
+    earlier per-pair evaluation (O(n_A² n_B²)) survives only inside
+    :func:`product_hop_distance`.  Raises if the product is
+    disconnected (eccentricity undefined).
+    """
+    kind, t1, t2, hops_b = _pairwise_product_hops(bk)
+    n_a, n_b = bk.A.n, bk.B.graph.n
+    if n_a * n_b == 1:
+        return np.zeros(1, dtype=np.int64)
+    if np.any(hops_b < 0) or np.any(t1 < 0) or (t2 is not None and np.any(t2 < 0)):
+        raise ValueError("product is disconnected; eccentricity undefined")
+    if n_b < 2 or bk.B.graph.m == 0:
+        raise ValueError("product is disconnected; eccentricity undefined")
+    ecc_b = hops_b.max(axis=1)  # (n_b,)
+    if kind == "lazy":
+        ecc_rows = t1.max(axis=1) + 1  # (n_a,): ecc_A(i) + parity bump
+    else:
+        ecc_rows = np.maximum(t1.max(axis=1), t2.max(axis=1))  # (n_a,)
+    return np.maximum(ecc_rows[:, None], ecc_b[None, :]).ravel()
+
+
+def product_diameter(bk: BipartiteKronecker) -> int:
+    """Exact diameter of the product from factor tables."""
+    return int(product_eccentricities(bk).max())

@@ -1,0 +1,54 @@
+"""Product-aware index maps.
+
+Thin wrappers over :mod:`repro.utils.indexing` bound to a concrete pair
+of factor sizes, so Kronecker-layer code reads like the paper's
+``p = γ(i, k)`` without threading block sizes everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.indexing import pair_index, product_to_pair
+
+__all__ = ["ProductIndexMap"]
+
+
+class ProductIndexMap:
+    """Index algebra for a product with left size ``n_a``, right ``n_b``.
+
+    Product vertex ``p`` corresponds to the factor pair
+    ``(i, k) = (p // n_b, p % n_b)``; the inverse is
+    ``p = i * n_b + k`` -- 0-based versions of the paper's
+    ``alpha/beta/gamma`` maps (Def. 4), compatible with
+    :func:`scipy.sparse.kron` ordering.
+    """
+
+    __slots__ = ("n_a", "n_b")
+
+    def __init__(self, n_a: int, n_b: int):
+        if n_a <= 0 or n_b <= 0:
+            raise ValueError(f"factor sizes must be positive, got ({n_a}, {n_b})")
+        self.n_a = int(n_a)
+        self.n_b = int(n_b)
+
+    @property
+    def n_product(self) -> int:
+        return self.n_a * self.n_b
+
+    def split(self, p):
+        """Product index -> ``(i, k)`` factor pair (vectorised)."""
+        p = np.asarray(p)
+        if np.any(p < 0) or np.any(p >= self.n_product):
+            raise IndexError("product vertex index out of range")
+        return product_to_pair(p, self.n_b)
+
+    def fuse(self, i, k):
+        """Factor pair ``(i, k)`` -> product index (vectorised)."""
+        i = np.asarray(i)
+        if np.any(i < 0) or np.any(i >= self.n_a):
+            raise IndexError("left-factor index out of range")
+        return pair_index(i, k, self.n_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProductIndexMap(n_a={self.n_a}, n_b={self.n_b})"

@@ -1,0 +1,56 @@
+"""What the generator can (and cannot) give you for wing validation.
+
+Rem. 1's negative result: non-trivial products always contain 4-cycles,
+so one cannot engineer products whose k-wing decomposition is trivially
+known the way triangle-free regions make trusses knowable.  The
+*positive* residue is still useful:
+
+* the exact **initial butterfly support** of every edge is free
+  (Thm. 5 / derived 1(ii)), and the wing number never exceeds it;
+* a k-wing can only exist if at least one edge has support >= k, so
+  ``max support`` upper-bounds the product's maximum wing number;
+* edges with support 0 have wing number exactly 0 -- the generator can
+  certify *those* without any peeling.
+
+These bounds let a wing implementation be sanity-checked at scale
+(upper bounds violated => bug) even though the exact decomposition
+still requires the peel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kronecker.assumptions import BipartiteKronecker
+from repro.kronecker.ground_truth import edge_squares_product
+
+__all__ = ["wing_upper_bounds", "certified_zero_wing_edges", "max_wing_upper_bound"]
+
+
+def wing_upper_bounds(bk: BipartiteKronecker) -> sp.csr_array:
+    """Per-edge upper bounds on wing numbers: the exact ◇ supports.
+
+    Pattern equals the product adjacency; value at each edge is its
+    exact initial butterfly support, which dominates its wing number
+    (peeling only removes support).
+    """
+    return edge_squares_product(bk)
+
+
+def certified_zero_wing_edges(bk: BipartiteKronecker) -> np.ndarray:
+    """Directed entries ``(p, q)`` whose wing number is certified 0.
+
+    Exactly the edges with ◇ = 0: no butterfly ever contains them, so
+    no k-wing (k >= 1) can either.  Returned as an ``(m, 2)`` array of
+    directed stored entries.
+    """
+    dia = edge_squares_product(bk).tocoo()
+    zero = dia.data == 0
+    return np.column_stack((dia.row[zero], dia.col[zero])).astype(np.int64)
+
+
+def max_wing_upper_bound(bk: BipartiteKronecker) -> int:
+    """Upper bound on the product's maximum wing number: max ◇."""
+    dia = edge_squares_product(bk)
+    return int(dia.data.max()) if dia.nnz else 0

@@ -1,0 +1,38 @@
+"""Process-parallel generation and counting.
+
+The paper's conclusion (§V) plans "a distributed version of graphBLAS,
+including using the ground truth formulas derived here to compute
+ground truth values during generation".  This subpackage is the
+single-node, multi-process realisation of that plan:
+
+* :mod:`~repro.parallel.partition` -- deterministic work partitioning:
+  the product's edge blocks are keyed by the left factor's stored
+  entries, so slicing *those* slices the product into disjoint,
+  equally-shaped shards (the same decomposition a distributed
+  generator would ship to ranks).
+* :mod:`~repro.parallel.generate` -- parallel shard generation: each
+  worker process receives the factor CSRs (cheap -- factors are tiny)
+  and a slice of left-factor entries, and writes its shard of product
+  edges (optionally with exact per-edge ground truth) independently.
+* :mod:`~repro.parallel.count` -- parallel direct butterfly counting
+  by row-block codegree partial sums; the validation-side workload a
+  cluster would run against the generator's ground truth.
+
+Design notes (per the HPC guides): work units are coarse (one shard =
+thousands of edge blocks) so process spawn and pickling costs amortize;
+all inter-process payloads are numpy arrays (pickle fast-path); results
+are pure reductions (sums / concatenations), so the parallel paths are
+bit-identical to the serial ones -- which the tests assert.
+"""
+
+from repro.parallel.count import parallel_global_butterflies
+from repro.parallel.generate import generate_shards, parallel_edge_count
+from repro.parallel.partition import left_entry_slices, shard_of_product
+
+__all__ = [
+    "left_entry_slices",
+    "shard_of_product",
+    "generate_shards",
+    "parallel_edge_count",
+    "parallel_global_butterflies",
+]

@@ -1,0 +1,68 @@
+"""Parallel direct butterfly counting by row-block partial sums.
+
+The validation side of the paper's workflow at scale: a cluster
+recounts butterflies on a generated graph and compares with the
+generator's ground truth.  The standard decomposition is by *rows of
+the smaller side's codegree product*::
+
+    B = ½ Σ_{u} Σ_{u' != u} C((X Xᵀ)_{u u'}, 2)
+
+where the outer sum splits into disjoint row blocks.  Each worker
+computes ``X[block] @ Xᵀ`` (scipy, compiled) and its choose-2 partial
+sum; the parent adds the partials.  Bit-identical to the serial
+counter by construction (integer arithmetic, disjoint blocks).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["parallel_global_butterflies"]
+
+
+def _block_partial(X_csr: sp.csr_array, start: int, stop: int) -> int:
+    """Worker: Σ over rows [start, stop) of Σ_{u'} C(codeg, 2)."""
+    block = sp.csr_array(X_csr[start:stop, :])
+    C = sp.csr_array(block @ X_csr.T)
+    coo = C.tocoo()
+    # Remove self-codegree entries (global row index == column index).
+    keep = (coo.row + start) != coo.col
+    w = coo.data[keep].astype(np.int64)
+    return int((w * (w - 1) // 2).sum())
+
+
+def parallel_global_butterflies(
+    bg: BipartiteGraph, n_blocks: int = 4, n_workers: int | None = None
+) -> int:
+    """Exact global butterfly count by parallel row-block reduction.
+
+    Splits the smaller side's biadjacency rows into ``n_blocks``
+    contiguous blocks; each worker forms its block's codegree rows and
+    partial choose-2 sum.  Each butterfly is counted by exactly two
+    ordered same-side pairs, hence the final halving.
+    """
+    if n_blocks <= 0:
+        raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+    X = bg.biadjacency()
+    if X.shape[0] > X.shape[1]:
+        X = sp.csr_array(X.T)
+    n_rows = X.shape[0]
+    bounds = np.linspace(0, n_rows, min(n_blocks, n_rows) + 1).astype(np.int64)
+    blocks = [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+    if n_workers is None:
+        n_workers = min(len(blocks), os.cpu_count() or 1)
+    if n_workers <= 1 or len(blocks) == 1:
+        total = sum(_block_partial(X, a, b) for a, b in blocks)
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [pool.submit(_block_partial, X, a, b) for a, b in blocks]
+            total = sum(f.result() for f in futures)
+    count, rem = divmod(total, 2)
+    assert rem == 0, "ordered same-side pair sums are even"
+    return count

@@ -1,0 +1,48 @@
+"""Shared low-level utilities for the :mod:`repro` library.
+
+This subpackage holds helpers that every other layer builds on:
+
+* :mod:`repro.utils.indexing` -- the vectorised Kronecker block index
+  maps (the paper's ``alpha``/``beta``/``gamma`` functions, Def. 4).
+* :mod:`repro.utils.validation` -- argument checking helpers that raise
+  uniform, descriptive errors.
+* :mod:`repro.utils.rng` -- seeded random-number-generator plumbing so
+  every stochastic generator in the library is reproducible.
+* :mod:`repro.utils.timing` -- a tiny wall-clock timer used by the
+  experiment harness (no external profiling dependencies).
+"""
+
+from repro.utils.indexing import (
+    block_index,
+    intra_index,
+    pair_index,
+    pair_to_product,
+    product_to_pair,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_square,
+    check_symmetric,
+)
+
+__all__ = [
+    "block_index",
+    "intra_index",
+    "pair_index",
+    "pair_to_product",
+    "product_to_pair",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "check_integer",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_square",
+    "check_symmetric",
+]

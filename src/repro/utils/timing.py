@@ -1,0 +1,41 @@
+"""Minimal wall-clock timing for the experiment harness.
+
+The guides' first rule of optimization is *measure before you change
+anything*.  The benchmark harness needs only coarse wall-clock numbers
+(the paper's claims are asymptotic shapes, not absolute times), so a
+``perf_counter`` context manager is the right altitude -- no external
+profiler dependency, no global state.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self.start is not None
+        self.elapsed = time.perf_counter() - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer(elapsed={self.elapsed:.6f}s)"

@@ -1,0 +1,82 @@
+"""Tests for bipartite butterfly counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analytics import (
+    edge_butterflies,
+    edge_squares_matrix,
+    global_butterflies,
+    global_squares,
+    vertex_butterflies,
+    vertex_squares_matrix,
+)
+from repro.generators import complete_bipartite, path_graph
+
+from tests.strategies import connected_bipartite_graphs, small_bipartite_corpus
+
+
+class TestKnownValues:
+    def test_k22(self):
+        bg = complete_bipartite(2, 2)
+        assert global_butterflies(bg) == 1
+        assert np.all(vertex_butterflies(bg) == 1)
+        assert np.all(edge_butterflies(bg).data == 1)
+
+    def test_k33(self):
+        bg = complete_bipartite(3, 3)
+        assert global_butterflies(bg) == 9
+        assert np.all(vertex_butterflies(bg) == 6)
+        assert np.all(edge_butterflies(bg).data == 4)
+
+    def test_asymmetric_kmn(self):
+        bg = complete_bipartite(2, 4)
+        assert global_butterflies(bg) == 6
+        vb = vertex_butterflies(bg)
+        # U vertices (deg 4): in all 6; W vertices (deg 2): in C(4-1... each
+        # W pair with the 2 U vertices: each W vertex pairs with 3 others -> 3.
+        assert np.array_equal(vb[bg.U], [6, 6])
+        assert np.array_equal(vb[bg.W], [3, 3, 3, 3])
+
+    def test_path_no_butterflies(self):
+        from repro.graphs import BipartiteGraph
+
+        bg = BipartiteGraph(path_graph(6))
+        assert global_butterflies(bg) == 0
+        assert np.all(vertex_butterflies(bg) == 0)
+
+
+class TestAgreementWithGeneralCounters:
+    @pytest.mark.parametrize("bg", small_bipartite_corpus(), ids=lambda b: f"u{b.U.size}w{b.W.size}m{b.m}")
+    def test_corpus(self, bg):
+        assert global_butterflies(bg) == global_squares(bg.graph)
+        assert np.array_equal(vertex_butterflies(bg), vertex_squares_matrix(bg.graph))
+
+    @given(connected_bipartite_graphs(max_side=5))
+    @settings(max_examples=50, deadline=None)
+    def test_property_vertex_and_global(self, bg):
+        assert global_butterflies(bg) == global_squares(bg.graph)
+        assert np.array_equal(vertex_butterflies(bg), vertex_squares_matrix(bg.graph))
+
+    @given(connected_bipartite_graphs(max_side=5))
+    @settings(max_examples=50, deadline=None)
+    def test_property_edge_counts(self, bg):
+        """Biadjacency edge counts must match the general ◇ matrix."""
+        eb = edge_butterflies(bg).tocoo()
+        dia = edge_squares_matrix(bg.graph)
+        U, W = bg.U, bg.W
+        for r, c, v in zip(eb.row, eb.col, eb.data):
+            assert dia[U[r], W[c]] == v
+
+    def test_edge_pattern_matches_biadjacency(self):
+        bg = complete_bipartite(1, 3)  # butterfly-free but has edges
+        eb = edge_butterflies(bg)
+        assert eb.nnz == bg.biadjacency().nnz
+        assert np.all(eb.data == 0)
+
+    def test_side_priority_transpose_invariance(self):
+        """global count must not depend on which side is smaller."""
+        wide = complete_bipartite(2, 9)
+        tall = complete_bipartite(9, 2)
+        assert global_butterflies(wide) == global_butterflies(tall)

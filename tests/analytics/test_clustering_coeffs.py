@@ -1,0 +1,82 @@
+"""Tests for bipartite clustering coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    degree_binned_edge_clustering,
+    edge_clustering_coefficients,
+    robins_alexander_coefficient,
+)
+from repro.generators import bipartite_chung_lu, complete_bipartite, path_graph
+from repro.graphs import BipartiteGraph
+
+
+class TestEdgeClustering:
+    def test_complete_bipartite_is_one(self):
+        """Every possible square across every K_{m,n} edge exists."""
+        u, w, gamma = edge_clustering_coefficients(complete_bipartite(3, 4))
+        assert np.allclose(gamma, 1.0)
+
+    def test_path_excluded_degree_one(self):
+        bg = BipartiteGraph(path_graph(4))
+        u, w, gamma = edge_clustering_coefficients(bg)
+        # Only the middle edge has both endpoints with degree 2.
+        assert gamma.size == 1
+        assert gamma[0] == 0.0
+
+    def test_range_zero_one(self):
+        bg = bipartite_chung_lu(np.full(15, 3.0), np.full(15, 3.0), seed=0)
+        _, _, gamma = edge_clustering_coefficients(bg)
+        assert np.all(gamma >= 0.0)
+        assert np.all(gamma <= 1.0)
+
+    def test_global_ids_returned(self):
+        bg = complete_bipartite(2, 2)
+        u, w, _ = edge_clustering_coefficients(bg)
+        assert set(u.tolist()) <= set(bg.U.tolist())
+        assert set(w.tolist()) <= set(bg.W.tolist())
+
+
+class TestRobinsAlexander:
+    def test_complete_bipartite_is_one(self):
+        assert robins_alexander_coefficient(complete_bipartite(3, 5)) == 1.0
+
+    def test_square_free_is_zero(self):
+        assert robins_alexander_coefficient(BipartiteGraph(path_graph(5))) == 0.0
+
+    def test_path_free_is_zero(self):
+        assert robins_alexander_coefficient(BipartiteGraph(path_graph(2))) == 0.0
+
+    def test_intermediate_value(self):
+        # K_{2,2} plus one pendant edge dilutes the coefficient below 1.
+        X = np.array([[1, 1, 0], [1, 1, 1]])
+        val = robins_alexander_coefficient(BipartiteGraph.from_biadjacency(X))
+        assert 0.0 < val < 1.0
+
+    def test_manual_small_case(self):
+        # K_{2,2}: 1 square, L3 = sum over 4 edges of (2-1)(2-1) = 4.
+        # RA = 4*1/4 = 1.
+        assert robins_alexander_coefficient(complete_bipartite(2, 2)) == 1.0
+
+
+class TestDegreeBinned:
+    def test_empty_graph(self):
+        bg = BipartiteGraph(path_graph(2))
+        lows, means, counts = degree_binned_edge_clustering(bg)
+        assert lows.size == 0
+
+    def test_bins_cover_all_valid_edges(self):
+        bg = bipartite_chung_lu(np.full(20, 4.0), np.full(20, 4.0), seed=1)
+        _, _, gamma = edge_clustering_coefficients(bg)
+        _, means, counts = degree_binned_edge_clustering(bg)
+        assert counts.sum() == gamma.size
+
+    def test_means_in_range(self):
+        bg = complete_bipartite(3, 3)
+        _, means, _ = degree_binned_edge_clustering(bg)
+        assert np.allclose(means, 1.0)
+
+    def test_bad_log_base(self):
+        with pytest.raises(ValueError):
+            degree_binned_edge_clustering(complete_bipartite(2, 2), log_base=1.0)

@@ -1,0 +1,96 @@
+"""Tests for the path/wedge census."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analytics.paths import (
+    global_caterpillars,
+    global_l3_paths,
+    global_wedges,
+    l3_paths_per_edge,
+    wedge_counts,
+)
+from repro.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs import BipartiteGraph, Graph
+
+from tests.strategies import connected_bipartite_graphs, connected_graphs
+
+
+def _brute_l3(graph: Graph) -> int:
+    """Count 4-distinct-vertex paths by enumeration (each path once)."""
+    adj = [set(graph.neighbors(v).tolist()) for v in range(graph.n)]
+    count = 0
+    for quad in permutations(range(graph.n), 4):
+        a, b, c, d = quad
+        if b in adj[a] and c in adj[b] and d in adj[c]:
+            count += 1
+    return count // 2  # each undirected path counted in both directions
+
+
+class TestWedges:
+    def test_star(self):
+        assert global_wedges(star_graph(5)) == 10
+        assert wedge_counts(star_graph(5))[0] == 10
+
+    def test_path(self):
+        assert np.array_equal(wedge_counts(path_graph(4)), [0, 1, 1, 0])
+
+    def test_rejects_loops(self):
+        with pytest.raises(ValueError):
+            global_wedges(path_graph(3).with_all_self_loops())
+
+
+class TestL3Paths:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(4), 1),
+            (path_graph(5), 2),
+            (cycle_graph(4), 4),
+            (cycle_graph(5), 5),
+            (star_graph(5), 0),
+        ],
+    )
+    def test_known_values(self, graph, expected):
+        assert global_l3_paths(graph) == expected
+
+    def test_complete_graph_matches_brute(self):
+        g = complete_graph(5)
+        assert global_l3_paths(g) == _brute_l3(g)
+
+    def test_bipartite_dispatch(self):
+        bg = complete_bipartite(2, 3)
+        assert global_l3_paths(bg) == _brute_l3(bg.graph)
+
+    def test_per_edge_sums_to_global_bipartite(self):
+        bg = complete_bipartite(3, 3)
+        assert int(l3_paths_per_edge(bg).sum()) == global_l3_paths(bg)
+
+    @given(connected_graphs(min_n=4, max_n=7))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute(self, g):
+        assert global_l3_paths(g) == _brute_l3(g)
+
+    @given(connected_bipartite_graphs(min_side=2, max_side=4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_bipartite(self, bg):
+        assert global_l3_paths(bg) == _brute_l3(bg.graph)
+
+
+class TestCaterpillars:
+    def test_triangle_free_equals_l3(self):
+        g = cycle_graph(6)
+        assert global_caterpillars(g) == global_l3_paths(g)
+
+    def test_triangles_inflate_caterpillars(self):
+        g = complete_graph(4)
+        assert global_caterpillars(g) == global_l3_paths(g) + 3 * 4  # 4 triangles

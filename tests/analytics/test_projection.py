@@ -1,0 +1,87 @@
+"""Tests for one-mode projections and their product ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analytics.projection import product_projection, projection
+from repro.generators import complete_bipartite, cycle_graph, path_graph, star_graph
+from repro.graphs import BipartiteGraph
+from repro.kronecker import Assumption, make_bipartite_product
+
+from tests.strategies import connected_bipartite_graphs
+
+
+class TestProjection:
+    def test_complete_bipartite(self):
+        # In K_{3,4}, every U pair shares all 4 W vertices.
+        P = projection(complete_bipartite(3, 4), "U")
+        assert np.array_equal(P.toarray(), 4 * (np.ones((3, 3)) - np.eye(3)))
+
+    def test_w_side(self):
+        P = projection(complete_bipartite(3, 4), "W")
+        assert P.shape == (4, 4)
+        assert np.all(P.toarray()[~np.eye(4, dtype=bool)] == 3)
+
+    def test_diagonal_is_degree(self):
+        bg = complete_bipartite(2, 5)
+        P = projection(bg, "U", keep_diagonal=True)
+        assert np.array_equal(P.diagonal(), [5, 5])
+
+    def test_star_projection_is_clique(self):
+        # star: leaves all share the hub -> leaf projection = K_n with weight 1.
+        bg = BipartiteGraph(star_graph(4))
+        side = "U" if bg.U.size == 4 else "W"
+        P = projection(bg, side)
+        assert np.array_equal(P.toarray(), np.ones((4, 4)) - np.eye(4))
+
+    def test_path_projection(self):
+        # P5 = u-w-u-w-u; U = {0,2,4}: 0~2 share w1, 2~4 share w3, 0~4 none.
+        bg = BipartiteGraph(path_graph(5))
+        side = "U" if bg.U.size == 3 else "W"
+        P = projection(bg, side).toarray()
+        assert P[0, 1] == 1 and P[1, 2] == 1 and P[0, 2] == 0
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            projection(complete_bipartite(2, 2), "X")
+
+
+class TestProductProjection:
+    def _direct(self, bk, side, keep_diagonal=False):
+        return projection(bk.materialize_bipartite(), side, keep_diagonal=keep_diagonal)
+
+    @pytest.mark.parametrize("side", ["U", "W"])
+    @pytest.mark.parametrize(
+        "A,B,assumption",
+        [
+            (cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR),
+            (path_graph(3), complete_bipartite(2, 3).graph, Assumption.SELF_LOOPS_FACTOR),
+        ],
+    )
+    def test_matches_direct(self, side, A, B, assumption):
+        bk = make_bipartite_product(A, B, assumption)
+        predicted = product_projection(bk, side, keep_diagonal=True).toarray()
+        direct = self._direct(bk, side, keep_diagonal=True).toarray()
+        assert np.array_equal(predicted, direct)
+
+    def test_diagonal_dropped_variant(self):
+        bk = make_bipartite_product(
+            cycle_graph(5), complete_bipartite(2, 2).graph, Assumption.NON_BIPARTITE_FACTOR
+        )
+        predicted = product_projection(bk, "U").toarray()
+        direct = self._direct(bk, "U").toarray()
+        assert np.array_equal(predicted, direct)
+
+    @given(connected_bipartite_graphs(max_side=3), connected_bipartite_graphs(max_side=3))
+    @settings(max_examples=20, deadline=None)
+    def test_property(self, A, B):
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        predicted = product_projection(bk, "U", keep_diagonal=True).toarray()
+        direct = self._direct(bk, "U", keep_diagonal=True).toarray()
+        assert np.array_equal(predicted, direct)
+
+    def test_invalid_side(self):
+        bk = make_bipartite_product(cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        with pytest.raises(ValueError):
+            product_projection(bk, "Z")

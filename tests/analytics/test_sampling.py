@@ -1,0 +1,73 @@
+"""Tests for approximate butterfly counting by wedge sampling."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import approximate_butterflies, global_squares
+from repro.analytics.sampling import total_wedges
+from repro.generators import (
+    bipartite_chung_lu,
+    complete_bipartite,
+    complete_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestTotalWedges:
+    def test_star(self):
+        # hub degree n gives C(n,2) wedges; leaves give none.
+        assert total_wedges(star_graph(5)) == 10
+
+    def test_path(self):
+        # interior vertices have degree 2 -> 1 wedge each
+        assert total_wedges(path_graph(5)) == 3
+
+    def test_edgeless(self):
+        from repro.graphs import Graph
+
+        assert total_wedges(Graph.empty(4)) == 0
+
+
+class TestEstimator:
+    def test_exact_on_balanced_complete_bipartite(self):
+        """On K_{m,m} every wedge sees the same codegree, so the
+        estimator has zero variance and must be exact."""
+        bg = complete_bipartite(3, 3)
+        est = approximate_butterflies(bg.graph, samples=50, seed=0)
+        assert est == global_squares(bg.graph)
+
+    def test_zero_wedges_graph(self):
+        est = approximate_butterflies(path_graph(2), samples=10, seed=0)
+        assert est == 0.0
+
+    def test_square_free_graph(self):
+        est = approximate_butterflies(star_graph(6), samples=100, seed=1)
+        assert est == 0.0
+
+    def test_unbiased_within_tolerance(self):
+        bg = bipartite_chung_lu(np.full(40, 5.0), np.full(40, 5.0), seed=3)
+        exact = global_squares(bg.graph)
+        est = approximate_butterflies(bg.graph, samples=4000, seed=4)
+        assert exact > 0
+        assert abs(est - exact) / exact < 0.25
+
+    def test_works_on_nonbipartite(self):
+        g = complete_graph(5)
+        est = approximate_butterflies(g, samples=2000, seed=5)
+        assert abs(est - 15) / 15 < 0.25
+
+    def test_rejects_self_loops(self):
+        g = path_graph(3).with_all_self_loops()
+        with pytest.raises(ValueError, match="loop"):
+            approximate_butterflies(g, samples=10)
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            approximate_butterflies(path_graph(3), samples=0)
+
+    def test_deterministic_given_seed(self):
+        g = complete_bipartite(3, 5).graph
+        a = approximate_butterflies(g, samples=100, seed=7)
+        b = approximate_butterflies(g, samples=100, seed=7)
+        assert a == b

@@ -1,0 +1,81 @@
+"""Tests for triangle counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analytics import edge_triangles, global_triangles, vertex_triangles
+from repro.generators import (
+    balanced_tree,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    wheel_graph,
+)
+
+from tests.strategies import connected_graphs
+
+
+class TestKnownValues:
+    def test_triangle(self):
+        g = cycle_graph(3)
+        assert global_triangles(g) == 1
+        assert np.array_equal(vertex_triangles(g), [1, 1, 1])
+
+    def test_k4(self):
+        g = complete_graph(4)
+        assert global_triangles(g) == 4
+        assert np.all(vertex_triangles(g) == 3)
+
+    def test_k5(self):
+        assert global_triangles(complete_graph(5)) == 10
+
+    def test_bipartite_has_none(self):
+        assert global_triangles(complete_bipartite(4, 5).graph) == 0
+
+    def test_tree_has_none(self):
+        assert global_triangles(balanced_tree(3, 2)) == 0
+
+    def test_wheel(self):
+        # Wheel W_n has n triangles (hub + each rim edge).
+        assert global_triangles(wheel_graph(7)) == 7
+
+    def test_edge_triangles_k4(self):
+        et = edge_triangles(complete_graph(4))
+        # every edge of K4 is in exactly 2 triangles
+        assert np.all(et.data == 2)
+
+    def test_edge_triangles_symmetric(self):
+        et = edge_triangles(wheel_graph(5))
+        assert (et - et.T).nnz == 0
+
+
+class TestValidation:
+    def test_self_loops_rejected(self):
+        g = path_graph(3).with_all_self_loops()
+        with pytest.raises(ValueError, match="loop"):
+            vertex_triangles(g)
+        with pytest.raises(ValueError, match="loop"):
+            edge_triangles(g)
+
+
+@given(connected_graphs(min_n=3, max_n=8))
+@settings(max_examples=40, deadline=None)
+def test_networkx_agreement(g):
+    import networkx as nx
+
+    nxg = nx.Graph(list(g.edges()))
+    nxg.add_nodes_from(range(g.n))
+    expected = nx.triangles(nxg)
+    got = vertex_triangles(g)
+    assert all(got[v] == expected[v] for v in range(g.n))
+
+
+@given(connected_graphs(min_n=3, max_n=8))
+@settings(max_examples=40, deadline=None)
+def test_vertex_edge_consistency(g):
+    """Σ edge triangles (directed) = 6 * global; Σ vertex = 3 * global."""
+    t_global = global_triangles(g)
+    assert vertex_triangles(g).sum() == 3 * t_global
+    assert edge_triangles(g).sum() == 6 * t_global

@@ -1,0 +1,69 @@
+"""Tests for CSV export of experiment artifacts."""
+
+import csv
+
+import pytest
+
+from repro.experiments import (
+    fig1_connectivity_table,
+    fig3_example_squares,
+    fig5_degree_vs_squares,
+    groundtruth_vs_direct,
+    table1_unicode,
+    unicode_seed_sweep,
+)
+from repro.experiments.export import write_csv
+from repro.generators import complete_bipartite
+from repro.kronecker import Assumption, make_bipartite_product
+
+
+def _read(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestWriteCsv:
+    def test_fig1(self, tmp_path):
+        (out,) = write_csv(fig1_connectivity_table(), tmp_path / "fig1.csv")
+        rows = _read(out)
+        assert rows[0][0] == "case"
+        assert len(rows) == 4  # header + 3 cases
+
+    def test_fig3(self, tmp_path):
+        (out,) = write_csv(fig3_example_squares(), tmp_path / "fig3.csv")
+        assert len(_read(out)) == 4
+
+    def test_fig5_two_series(self, tmp_path):
+        bk = make_bipartite_product(
+            complete_bipartite(2, 2), complete_bipartite(2, 3), Assumption.SELF_LOOPS_FACTOR
+        )
+        paths = write_csv(fig5_degree_vs_squares(bk), tmp_path / "fig5.csv")
+        assert len(paths) == 2
+        for p in paths:
+            rows = _read(p)
+            assert rows[0] == ["degree", "squares"]
+            assert len(rows) > 1
+
+    def test_table1(self, tmp_path):
+        res = table1_unicode(complete_bipartite(3, 4), include_paper_reference=False)
+        (out,) = write_csv(res, tmp_path / "tab1.csv")
+        rows = _read(out)
+        assert rows[1][0] == "A"
+        assert rows[2][0] == "C=(A+I)xA"
+
+    def test_cost(self, tmp_path):
+        (out,) = write_csv(groundtruth_vs_direct(sizes=[6]), tmp_path / "cost.csv")
+        rows = _read(out)
+        assert "speedup" in rows[0]
+
+    def test_seed_sweep(self, tmp_path):
+        (out,) = write_csv(unicode_seed_sweep(n_seeds=2, base_seed=3), tmp_path / "seeds.csv")
+        assert len(_read(out)) == 3
+
+    def test_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError, match="no CSV exporter"):
+            write_csv(object(), tmp_path / "x.csv")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        (out,) = write_csv(fig1_connectivity_table(), tmp_path / "a" / "b" / "fig1.csv")
+        assert out.exists()

@@ -1,0 +1,43 @@
+"""Tests for the seed-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments.robustness import SeedSweepResult, unicode_seed_sweep
+from repro.generators.konect_like import UNICODE_PAPER_STATS
+
+
+class TestSeedSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return unicode_seed_sweep(n_seeds=5, base_seed=500)
+
+    def test_row_count(self, sweep):
+        assert len(sweep.rows) == 5
+
+    def test_seeds_distinct_draws(self, sweep):
+        # Different seeds give different graphs (edges differ somewhere).
+        assert len({r.edges for r in sweep.rows}) > 1
+
+    def test_edges_near_paper(self, sweep):
+        for r in sweep.rows:
+            assert abs(r.edges - UNICODE_PAPER_STATS["edges"]) < 200
+
+    def test_product_order_of_magnitude(self, sweep):
+        for r in sweep.rows:
+            assert 1e8 < r.product_squares < 1e10
+
+    def test_format(self, sweep):
+        text = sweep.format()
+        assert "paper" in text
+        assert "factor edges" in text
+
+    def test_invalid_n_seeds(self):
+        with pytest.raises(ValueError):
+            unicode_seed_sweep(n_seeds=0)
+
+    def test_deterministic(self):
+        a = unicode_seed_sweep(n_seeds=2, base_seed=7)
+        b = unicode_seed_sweep(n_seeds=2, base_seed=7)
+        assert [(r.edges, r.factor_squares) for r in a.rows] == [
+            (r.edges, r.factor_squares) for r in b.rows
+        ]

@@ -1,0 +1,106 @@
+"""Tests for the Table-I harness and the scaling experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    community_bounds_sweep,
+    generation_throughput,
+    groundtruth_vs_direct,
+    table1_unicode,
+    thm6_tightness,
+)
+from repro.generators import complete_bipartite, complete_graph, path_graph
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.kronecker.community import BipartiteCommunity
+
+
+class TestTable1:
+    def test_default_factor_matches_paper_scale(self, unicode_like):
+        res = table1_unicode(unicode_like)
+        assert res.factor_n_u == 254
+        assert res.factor_n_w == 614
+        assert abs(res.factor_edges - 1256) < 130
+        assert abs(res.factor_squares - 1662) < 250
+        # Product part sizes are exact consequences of the part sizes.
+        assert res.product_n_u == 868 * 254
+        assert res.product_n_w == 868 * 614
+        # Same order of magnitude as the paper's square count.
+        assert 1e8 < res.product_squares < 1e10
+
+    def test_product_stats_consistent_with_formulas(self, unicode_like, unicode_product):
+        from repro.kronecker import global_squares_product
+
+        res = table1_unicode(unicode_like)
+        assert res.product_squares == global_squares_product(unicode_product)
+        assert res.product_edges == unicode_product.m
+
+    def test_small_factor_exact_verification(self):
+        """On a small factor the whole Table-I pipeline is verified
+        against direct counting on the materialized product."""
+        from repro.analytics import global_squares
+
+        factor = complete_bipartite(3, 4)
+        res = table1_unicode(factor, include_paper_reference=False)
+        bk = make_bipartite_product(factor, factor, Assumption.SELF_LOOPS_FACTOR)
+        C = bk.materialize()
+        assert res.product_squares == global_squares(C)
+        assert res.product_edges == C.m
+        assert res.paper is None
+
+    def test_format_contains_rows(self, unicode_like):
+        text = table1_unicode(unicode_like).format()
+        assert "Table I" in text
+        assert "(A+I)" in text
+        assert "946,565,889" in text  # paper reference row
+
+
+class TestThm6Tightness:
+    def test_no_violations(self):
+        bk = make_bipartite_product(
+            complete_graph(4), complete_bipartite(2, 3).graph, Assumption.NON_BIPARTITE_FACTOR
+        )
+        res = thm6_tightness(bk)
+        assert res.violations == 0
+        assert res.n_edges > 0
+        assert res.max_ratio <= 1.0 + 1e-12
+
+
+class TestCommunitySweep:
+    def test_rows_exact_and_bounded(self):
+        A = complete_bipartite(3, 3)
+        B = complete_bipartite(2, 4)
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        cas = [BipartiteCommunity(A, [0, 1, 3, 4]), BipartiteCommunity(A, [0, 3])]
+        cbs = [BipartiteCommunity(B, [0, 2, 3])]
+        res = community_bounds_sweep(bk, cas, cbs)
+        assert len(res.rows) == 2
+        assert all(r.thm7_exact for r in res.rows)
+        assert all(r.bounds_hold for r in res.rows)
+
+    def test_format(self):
+        A = complete_bipartite(2, 2)
+        bk = make_bipartite_product(A, A, Assumption.SELF_LOOPS_FACTOR)
+        comm = BipartiteCommunity(A, [0, 2])
+        text = community_bounds_sweep(bk, [comm], [comm]).format()
+        assert "Thm 7" in text
+
+
+class TestCostAndGeneration:
+    def test_groundtruth_vs_direct_agree(self):
+        res = groundtruth_vs_direct(sizes=[6, 10])
+        assert len(res.rows) == 2
+        assert all(r.squares > 0 for r in res.rows)
+        assert res.rows[1].m_product > res.rows[0].m_product
+
+    def test_format(self):
+        assert "speedup" in groundtruth_vs_direct(sizes=[6]).format()
+
+    def test_generation_throughput(self):
+        bk = make_bipartite_product(
+            complete_graph(4), complete_bipartite(3, 3).graph, Assumption.NON_BIPARTITE_FACTOR
+        )
+        res = generation_throughput(bk)
+        assert res.directed_entries == bk.materialize().nnz
+        assert res.edges_per_second_stream > 0
+        assert "stream" in res.format()

@@ -1,0 +1,76 @@
+"""Tests for GBMatrix."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gb import GBMatrix
+
+
+class TestConstruction:
+    def test_from_dense(self):
+        m = GBMatrix.from_dense([[0, 1], [2, 0]])
+        assert m.shape == (2, 2)
+        assert m.nvals == 2
+
+    def test_from_scipy(self):
+        m = GBMatrix(sp.coo_array(([5], ([0], [1])), shape=(2, 3)))
+        assert m.shape == (2, 3)
+        assert m.get(0, 1) == 5
+
+    def test_from_coo_sums_duplicates(self):
+        m = GBMatrix.from_coo([0, 0], [1, 1], [2, 3], shape=(2, 2))
+        assert m.get(0, 1) == 5
+        assert m.nvals == 1
+
+    def test_identity(self):
+        eye = GBMatrix.identity(3)
+        assert np.array_equal(eye.to_dense(), np.eye(3, dtype=np.int64))
+
+    def test_zeros(self):
+        z = GBMatrix.zeros((2, 4))
+        assert z.shape == (2, 4)
+        assert z.nvals == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            GBMatrix(np.zeros(3))
+
+
+class TestAccess:
+    def test_to_coo_row_major(self):
+        m = GBMatrix.from_dense([[0, 1], [2, 0]])
+        rows, cols, vals = m.to_coo()
+        assert rows.tolist() == [0, 1]
+        assert cols.tolist() == [1, 0]
+        assert vals.tolist() == [1, 2]
+
+    def test_get_missing_is_zero(self):
+        m = GBMatrix.from_dense([[0, 1], [2, 0]])
+        assert m.get(0, 0) == 0
+
+    def test_prune(self):
+        m = GBMatrix(sp.coo_array(([0, 2], ([0, 1], [1, 0])), shape=(2, 2)))
+        assert m.prune().nvals == 1
+
+    def test_pattern(self):
+        m = GBMatrix.from_dense([[0, 5], [7, 0]])
+        assert np.array_equal(m.pattern().to_dense(), [[0, 1], [1, 0]])
+
+    def test_equality_value_based(self):
+        a = GBMatrix.from_dense([[1, 0], [0, 1]])
+        b = GBMatrix.identity(2)
+        assert a == b
+
+    def test_equality_shape_mismatch(self):
+        assert GBMatrix.zeros((2, 2)) != GBMatrix.zeros((2, 3))
+
+    def test_equality_ignores_stored_zeros(self):
+        a = GBMatrix(sp.coo_array(([0, 1], ([0, 0], [0, 1])), shape=(2, 2)))
+        b = GBMatrix(sp.coo_array(([1], ([0], [1])), shape=(2, 2)))
+        assert a == b
+
+    def test_nrows_ncols(self):
+        m = GBMatrix.zeros((2, 5))
+        assert m.nrows == 2
+        assert m.ncols == 5

@@ -1,0 +1,258 @@
+"""Tests for the GraphBLAS operations."""
+
+import numpy as np
+import pytest
+
+from repro.gb import (
+    GBMatrix,
+    GBVector,
+    LOR_LAND,
+    MAX_TIMES,
+    MIN_PLUS,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    apply,
+    diag,
+    ewise_add,
+    ewise_mult,
+    extract,
+    kron,
+    mxm,
+    mxv,
+    reduce_rows,
+    reduce_scalar,
+    select,
+    transpose,
+    vxm,
+)
+from repro.gb.semirings import AINV, MAX, MAX_MONOID, MIN, MIN_MONOID, ONE
+
+
+@pytest.fixture
+def A():
+    return GBMatrix.from_dense([[1, 2, 0], [0, 3, 4]])
+
+
+@pytest.fixture
+def B():
+    return GBMatrix.from_dense([[1, 0], [0, 1], [2, 2]])
+
+
+class TestMxm:
+    def test_plus_times_matches_numpy(self, A, B):
+        expected = A.to_dense() @ B.to_dense()
+        assert np.array_equal(mxm(A, B).to_dense(), expected)
+
+    def test_dimension_mismatch(self, A):
+        with pytest.raises(ValueError, match="mismatch"):
+            mxm(A, A)
+
+    def test_boolean_semiring(self):
+        A = GBMatrix.from_dense([[0, 5], [0, 0]])
+        B = GBMatrix.from_dense([[0, 0], [7, 0]])
+        out = mxm(A, B, LOR_LAND)
+        assert np.array_equal(out.to_dense(), [[1, 0], [0, 0]])
+
+    def test_plus_pair_counts_overlaps(self):
+        # Overlap counting ignores values entirely.
+        A = GBMatrix.from_dense([[5, 9], [0, 2]])
+        out = mxm(A, transpose(A), PLUS_PAIR)
+        assert np.array_equal(out.to_dense(), [[2, 1], [1, 1]])
+
+    def test_min_plus_shortest_paths(self):
+        # 1-step min-plus relaxation on a weighted triangle.
+        inf = 0  # absent entries are structurally missing, not 0
+        W = GBMatrix.from_coo([0, 1, 0], [1, 2, 2], [1.0, 1.0, 10.0], shape=(3, 3))
+        two = mxm(W, W, MIN_PLUS)
+        # path 0->1->2 costs 2 (beats direct 10 once combined).
+        assert two.get(0, 2) == 2.0
+
+    def test_max_times(self):
+        A = GBMatrix.from_dense([[2, 3], [0, 1]])
+        out = mxm(A, A, MAX_TIMES)
+        expected = np.array([[4, 6], [0, 1]])
+        assert np.array_equal(out.prune().to_dense(), expected)
+
+    def test_generic_matches_plus_times_when_ring_is_standard(self):
+        rng = np.random.default_rng(0)
+        A = GBMatrix.from_dense(rng.integers(0, 3, (5, 4)))
+        B = GBMatrix.from_dense(rng.integers(0, 3, (4, 6)))
+        from repro.gb.ops import _generic_mxm
+        import scipy.sparse as sp
+
+        generic = _generic_mxm(A.csr, B.csr, PLUS_TIMES)
+        assert np.array_equal(generic.toarray(), A.to_dense() @ B.to_dense())
+
+    def test_mask_keeps_only_masked_entries(self, A, B):
+        mask = GBMatrix.from_dense([[1, 0], [0, 0]])
+        out = mxm(A, B, mask=mask)
+        dense = out.to_dense()
+        full = A.to_dense() @ B.to_dense()
+        assert dense[0, 0] == full[0, 0]
+        assert dense[0, 1] == 0 and dense[1, 0] == 0 and dense[1, 1] == 0
+
+    def test_complement_mask(self, A, B):
+        mask = GBMatrix.from_dense([[1, 0], [0, 0]])
+        out = mxm(A, B, mask=mask, complement=True)
+        assert out.get(0, 0) == 0
+        full = A.to_dense() @ B.to_dense()
+        assert out.get(1, 1) == full[1, 1]
+
+    def test_complement_without_mask_rejected(self, A, B):
+        with pytest.raises(ValueError):
+            mxm(A, B, complement=True)
+
+
+class TestMxvVxm:
+    def test_mxv(self, A):
+        x = GBVector.from_dense([1, 1, 1])
+        out = mxv(A, x)
+        assert np.array_equal(out.to_dense(), [3, 7])
+
+    def test_mxv_dimension_mismatch(self, A):
+        with pytest.raises(ValueError):
+            mxv(A, GBVector.from_dense([1, 1]))
+
+    def test_vxm_is_transpose_mxv(self, A):
+        x = GBVector.from_dense([1, 2])
+        out = vxm(x, A)
+        assert np.array_equal(out.to_dense(), np.array([1, 2]) @ A.to_dense())
+
+    def test_mxv_min_plus(self):
+        W = GBMatrix.from_coo([0, 1], [1, 2], [1.0, 1.0], shape=(3, 3))
+        dist = GBVector.from_dense([0.0, 0.0, 0.0])
+        # with explicit zeros everywhere, min-plus mxv gives per-row min of weights
+        out = mxv(W, GBVector.full(3, 0.0), MIN_PLUS)
+        assert out.get(0) == 1.0
+
+
+class TestEwise:
+    def test_add_default_plus(self, A):
+        out = ewise_add(A, A)
+        assert np.array_equal(out.to_dense(), 2 * A.to_dense())
+
+    def test_add_union_semantics_max(self):
+        A = GBMatrix.from_dense([[1, 0], [0, 5]])
+        B = GBMatrix.from_dense([[3, 7], [0, 2]])
+        out = ewise_add(A, B, MAX)
+        assert np.array_equal(out.to_dense(), [[3, 7], [0, 5]])
+
+    def test_add_shape_mismatch(self, A, B):
+        with pytest.raises(ValueError):
+            ewise_add(A, B)
+
+    def test_mult_default_times_is_hadamard(self):
+        A = GBMatrix.from_dense([[1, 2], [3, 0]])
+        B = GBMatrix.from_dense([[5, 0], [2, 2]])
+        out = ewise_mult(A, B)
+        assert np.array_equal(out.to_dense(), [[5, 0], [6, 0]])
+
+    def test_mult_intersection_semantics_min(self):
+        A = GBMatrix.from_dense([[1, 0], [4, 0]])
+        B = GBMatrix.from_dense([[3, 7], [2, 0]])
+        out = ewise_mult(A, B, MIN)
+        assert np.array_equal(out.to_dense(), [[1, 0], [2, 0]])
+
+
+class TestKron:
+    def test_matches_numpy_kron(self, A, B):
+        out = kron(A, B)
+        assert np.array_equal(out.to_dense(), np.kron(A.to_dense(), B.to_dense()))
+
+    def test_kron_with_max_op(self):
+        A = GBMatrix.from_dense([[2, 0], [0, 3]])
+        B = GBMatrix.from_dense([[1, 4]])
+        out = kron(A, B, MAX)
+        expected = np.array([[2, 4, 0, 0], [0, 0, 3, 4]])
+        assert np.array_equal(out.prune().to_dense(), expected)
+
+    def test_kron_shape(self, A, B):
+        assert kron(A, B).shape == (A.nrows * B.nrows, A.ncols * B.ncols)
+
+
+class TestReductions:
+    def test_reduce_rows_plus(self, A):
+        out = reduce_rows(A)
+        assert np.array_equal(out.to_dense(), [3, 7])
+
+    def test_reduce_rows_max(self, A):
+        out = reduce_rows(A, MAX_MONOID)
+        assert np.array_equal(out.to_dense(), [2, 4])
+
+    def test_reduce_rows_min_empty_row_gets_identity_pruned(self):
+        A = GBMatrix.from_dense([[0, 0], [1, 2]])
+        out = reduce_rows(A, MIN_MONOID)
+        # Row 0 has no entries -> identity (inf) -> from_dense stores it.
+        assert out.get(1) == 1
+
+    def test_reduce_scalar_matrix(self, A):
+        assert reduce_scalar(A) == 10
+
+    def test_reduce_scalar_vector(self):
+        v = GBVector.from_dense([1, 2, 3])
+        assert reduce_scalar(v) == 6
+
+    def test_reduce_scalar_monoid(self, A):
+        assert reduce_scalar(A, MAX_MONOID) == 4
+
+    def test_reduce_scalar_type_error(self):
+        with pytest.raises(TypeError):
+            reduce_scalar([1, 2, 3])
+
+
+class TestApplySelectExtract:
+    def test_apply_matrix(self, A):
+        out = apply(A, AINV)
+        assert np.array_equal(out.to_dense(), -A.to_dense())
+
+    def test_apply_vector(self):
+        v = GBVector.from_dense([2, 0, 3])
+        out = apply(v, ONE)
+        assert np.array_equal(out.to_dense(), [1, 0, 1])
+
+    def test_apply_type_error(self):
+        with pytest.raises(TypeError):
+            apply(5, ONE)
+
+    def test_select_by_value(self, A):
+        out = select(A, lambda r, c, v: v >= 3)
+        assert np.array_equal(out.to_dense(), [[0, 0, 0], [0, 3, 4]])
+
+    def test_select_upper_triangle(self):
+        A = GBMatrix.from_dense([[1, 2], [3, 4]])
+        out = select(A, lambda r, c, v: r < c)
+        assert np.array_equal(out.to_dense(), [[0, 2], [0, 0]])
+
+    def test_select_bad_predicate(self, A):
+        with pytest.raises(ValueError):
+            select(A, lambda r, c, v: np.array([True]))
+
+    def test_extract(self, A):
+        out = extract(A, [1], [0, 1])
+        assert np.array_equal(out.to_dense(), [[0, 3]])
+
+    def test_transpose(self, A):
+        assert np.array_equal(transpose(A).to_dense(), A.to_dense().T)
+
+
+class TestDiag:
+    def test_extract_diagonal(self):
+        m = GBMatrix.from_dense([[1, 2], [3, 4]])
+        assert np.array_equal(diag(m).to_dense(), [1, 4])
+
+    def test_extract_requires_square(self):
+        with pytest.raises(ValueError):
+            diag(GBMatrix.zeros((2, 3)))
+
+    def test_build_diagonal_matrix(self):
+        v = GBVector.from_dense([1, 0, 2])
+        m = diag(v)
+        assert np.array_equal(m.to_dense(), np.diag([1, 0, 2]))
+
+    def test_diag_roundtrip(self):
+        v = GBVector.from_dense([3, 0, 5])
+        assert diag(diag(v)) == v
+
+    def test_diag_type_error(self):
+        with pytest.raises(TypeError):
+            diag("x")

@@ -1,0 +1,89 @@
+"""Tests for semiring/monoid/operator descriptors.
+
+Monoid laws (associativity, commutativity, identity) are verified on
+concrete values for every shipped monoid -- the ``associative`` /
+``commutative`` flags are trusted by kernels, so the suite is where
+they get earned.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gb.semirings import (
+    LAND_MONOID,
+    LOR_MONOID,
+    MAX_MONOID,
+    MIN_MONOID,
+    PAIR,
+    PLUS_MONOID,
+    TIMES_MONOID,
+    FIRST,
+    SECOND,
+)
+
+NUMERIC_MONOIDS = [PLUS_MONOID, TIMES_MONOID, MIN_MONOID, MAX_MONOID]
+
+
+@pytest.mark.parametrize("monoid", NUMERIC_MONOIDS, ids=lambda m: m.name)
+class TestMonoidLaws:
+    @given(st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5))
+    def test_associative(self, monoid, a, b, c):
+        left = monoid.op(monoid.op(a, b), c)
+        right = monoid.op(a, monoid.op(b, c))
+        assert left == right
+
+    @given(st.integers(-5, 5), st.integers(-5, 5))
+    def test_commutative(self, monoid, a, b):
+        assert monoid.op(a, b) == monoid.op(b, a)
+
+    @given(st.integers(-5, 5))
+    def test_identity(self, monoid, a):
+        assert monoid.op(a, monoid.identity) == a
+
+
+class TestReduce:
+    def test_reduce_empty_gives_identity(self):
+        assert PLUS_MONOID.reduce(np.array([])) == 0
+        assert TIMES_MONOID.reduce(np.array([])) == 1
+        assert MIN_MONOID.reduce(np.array([])) == np.inf
+
+    def test_reduce_values(self):
+        v = np.array([3, 1, 4])
+        assert PLUS_MONOID.reduce(v) == 8
+        assert MIN_MONOID.reduce(v) == 1
+        assert MAX_MONOID.reduce(v) == 4
+        assert TIMES_MONOID.reduce(v) == 12
+
+    def test_boolean_monoids(self):
+        assert LOR_MONOID.reduce(np.array([False, True])) is True
+        assert LAND_MONOID.reduce(np.array([True, False])) == False  # noqa: E712
+
+
+class TestSegmentReduce:
+    @pytest.mark.parametrize("monoid", NUMERIC_MONOIDS, ids=lambda m: m.name)
+    def test_matches_loop(self, monoid):
+        values = np.array([5, 2, 7, 1, 3], dtype=np.float64)
+        segments = np.array([0, 0, 2, 2, 2])
+        out = monoid.segment_reduce(values, segments, 4)
+        assert out[0] == monoid.reduce(values[:2])
+        assert out[2] == monoid.reduce(values[2:])
+        # segments 1 and 3 are empty -> identity
+        assert out[1] == monoid.identity
+        assert out[3] == monoid.identity
+
+    def test_empty_input(self):
+        out = PLUS_MONOID.segment_reduce(np.array([]), np.array([], dtype=int), 3)
+        assert np.array_equal(out, [0, 0, 0])
+
+
+class TestStructuralOps:
+    def test_pair_returns_ones(self):
+        out = PAIR(np.array([5, 0, -2]), np.array([1, 9, 9]))
+        assert np.array_equal(out, [1, 1, 1])
+
+    def test_first_second(self):
+        a, b = np.array([1, 2]), np.array([3, 4])
+        assert np.array_equal(FIRST(a, b), a)
+        assert np.array_equal(SECOND(a, b), b)

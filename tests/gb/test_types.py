@@ -1,0 +1,75 @@
+"""Tests for the algebra descriptor types themselves."""
+
+import numpy as np
+import pytest
+
+from repro.gb.types import BinaryOp, Monoid, Semiring, UnaryOp
+
+
+class TestUnaryOp:
+    def test_call_vectorises(self):
+        double = UnaryOp("double", lambda x: 2 * np.asarray(x))
+        assert np.array_equal(double([1, 2, 3]), [2, 4, 6])
+
+    def test_repr(self):
+        assert "double" in repr(UnaryOp("double", lambda x: x))
+
+
+class TestBinaryOp:
+    def test_call(self):
+        sub = BinaryOp("sub", np.subtract)
+        assert np.array_equal(sub([5, 5], [2, 3]), [3, 2])
+
+    def test_flags_default_false(self):
+        op = BinaryOp("x", np.add)
+        assert not op.commutative and not op.associative
+
+
+class TestMonoidGenericPaths:
+    @pytest.fixture
+    def gcd_monoid(self):
+        """A monoid with NO fast reduce kernels: exercises fallbacks."""
+        return Monoid(BinaryOp("gcd", np.gcd, commutative=True, associative=True), 0)
+
+    def test_generic_reduce(self, gcd_monoid):
+        assert gcd_monoid.reduce(np.array([12, 18, 30])) == 6
+
+    def test_generic_reduce_empty(self, gcd_monoid):
+        assert gcd_monoid.reduce(np.array([], dtype=int)) == 0
+
+    def test_generic_segment_reduce(self, gcd_monoid):
+        values = np.array([12, 18, 8, 20])
+        segments = np.array([0, 0, 2, 2])
+        out = gcd_monoid.segment_reduce(values, segments, 3)
+        assert out[0] == 6
+        assert out[1] == 0  # identity for empty segment
+        assert out[2] == 4
+
+    def test_name_delegates_to_op(self, gcd_monoid):
+        assert gcd_monoid.name == "gcd"
+
+    def test_repr(self, gcd_monoid):
+        assert "gcd" in repr(gcd_monoid)
+
+
+class TestSemiring:
+    def test_repr(self):
+        from repro.gb.semirings import PLUS_TIMES
+
+        assert "plus_times" in repr(PLUS_TIMES)
+
+    def test_custom_semiring_usable_in_mxm(self):
+        """A user-defined semiring (gcd-add, times-multiply) must run
+        through the generic kernel end to end."""
+        from repro.gb import GBMatrix, mxm
+        from repro.gb.semirings import TIMES
+
+        gcd_monoid = Monoid(BinaryOp("gcd", np.gcd, commutative=True, associative=True), 0)
+        ring = Semiring("gcd_times", gcd_monoid, TIMES)
+        A = GBMatrix.from_dense([[2, 3], [0, 5]])
+        B = GBMatrix.from_dense([[4, 0], [6, 10]])
+        out = mxm(A, B, ring)
+        # entry (0,0): gcd(2*4, 3*6) = gcd(8, 18) = 2
+        assert out.get(0, 0) == 2
+        # entry (0,1): only 3*10 = 30
+        assert out.get(0, 1) == 30

@@ -1,0 +1,81 @@
+"""Tests for GBVector."""
+
+import numpy as np
+import pytest
+
+from repro.gb import GBVector
+
+
+class TestConstruction:
+    def test_empty(self):
+        v = GBVector(5)
+        assert v.size == 5
+        assert v.nvals == 0
+
+    def test_sorts_indices(self):
+        v = GBVector(5, [3, 1], [30.0, 10.0])
+        assert np.array_equal(v.indices, [1, 3])
+        assert np.array_equal(v.values, [10.0, 30.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            GBVector(5, [1, 1], [1.0, 2.0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            GBVector(3, [3], [1.0])
+        with pytest.raises(ValueError, match="range"):
+            GBVector(3, [-1], [1.0])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            GBVector(3, [0, 1], [1.0])
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            GBVector(-1)
+
+    def test_from_dense(self):
+        v = GBVector.from_dense([0, 5, 0, 7])
+        assert v.size == 4
+        assert np.array_equal(v.indices, [1, 3])
+        assert np.array_equal(v.values, [5, 7])
+
+    def test_from_dense_rejects_2d(self):
+        with pytest.raises(ValueError):
+            GBVector.from_dense(np.zeros((2, 2)))
+
+    def test_full(self):
+        v = GBVector.full(3, 9)
+        assert v.nvals == 3
+        assert np.array_equal(v.to_dense(), [9, 9, 9])
+
+
+class TestAccess:
+    def test_to_dense_with_fill(self):
+        v = GBVector(4, [1], [2.5])
+        assert np.array_equal(v.to_dense(fill=-1), [-1, 2.5, -1, -1])
+
+    def test_get(self):
+        v = GBVector(4, [2], [7])
+        assert v.get(2) == 7
+        assert v.get(0) == 0
+        assert v.get(0, default=None) is None
+
+    def test_prune_drops_stored_zeros(self):
+        v = GBVector(4, [0, 1], [0, 3])
+        p = v.prune()
+        assert p.nvals == 1
+        assert p.get(1) == 3
+
+    def test_equality_ignores_stored_zeros(self):
+        a = GBVector(4, [0, 1], [0, 3])
+        b = GBVector(4, [1], [3])
+        assert a == b
+
+    def test_inequality_different_size(self):
+        assert GBVector(3) != GBVector(4)
+
+    def test_roundtrip(self):
+        dense = np.array([1.0, 0.0, -2.0, 0.0, 3.5])
+        assert np.array_equal(GBVector.from_dense(dense).to_dense().astype(float), dense)

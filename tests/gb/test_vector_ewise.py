@@ -1,0 +1,76 @@
+"""Tests for vector eWiseAdd / eWiseMult."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gb import GBVector, ewise_add, ewise_mult
+from repro.gb.semirings import MAX, MIN
+
+
+class TestVectorEwiseAdd:
+    def test_union_default_plus(self):
+        x = GBVector(4, [0, 2], [1.0, 5.0])
+        y = GBVector(4, [2, 3], [2.0, 7.0])
+        out = ewise_add(x, y)
+        assert np.array_equal(out.to_dense(), [1.0, 0.0, 7.0, 7.0])
+
+    def test_union_with_max(self):
+        x = GBVector(3, [0, 1], [1, 9])
+        y = GBVector(3, [1, 2], [4, 5])
+        out = ewise_add(x, y, MAX)
+        assert np.array_equal(out.to_dense(), [1, 9, 5])
+
+    def test_pass_through_semantics(self):
+        # entries present in only one operand pass through unchanged,
+        # even under ops where combining with an implicit zero would differ.
+        x = GBVector(2, [0], [5])
+        y = GBVector(2, [], [])
+        out = ewise_add(x, y, MIN)
+        assert out.get(0) == 5
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ewise_add(GBVector(3), GBVector(4))
+
+    def test_mask_rejected(self):
+        from repro.gb import GBMatrix
+
+        with pytest.raises(ValueError, match="mask"):
+            ewise_add(GBVector(2), GBVector(2), mask=GBMatrix.zeros((2, 2)))
+
+
+class TestVectorEwiseMult:
+    def test_intersection_default_times(self):
+        x = GBVector(4, [0, 2], [3.0, 5.0])
+        y = GBVector(4, [2, 3], [2.0, 7.0])
+        out = ewise_mult(x, y)
+        assert np.array_equal(out.to_dense(), [0.0, 0.0, 10.0, 0.0])
+
+    def test_intersection_pattern(self):
+        x = GBVector(5, [0, 1, 2], [1, 1, 1])
+        y = GBVector(5, [2, 3], [1, 1])
+        out = ewise_mult(x, y)
+        assert out.indices.tolist() == [2]
+
+    def test_min_op(self):
+        x = GBVector(2, [0], [9])
+        y = GBVector(2, [0], [4])
+        assert ewise_mult(x, y, MIN).get(0) == 4
+
+
+@given(
+    arrays(np.int64, 6, elements=st.integers(-3, 3)),
+    arrays(np.int64, 6, elements=st.integers(-3, 3)),
+)
+@settings(max_examples=40, deadline=None)
+def test_dense_agreement(xd, yd):
+    """On fully materialized patterns, eWiseAdd == dense + and
+    eWiseMult == dense * (stored zeros keep full patterns)."""
+    idx = np.arange(6)
+    x = GBVector(6, idx, xd)
+    y = GBVector(6, idx, yd)
+    assert np.array_equal(ewise_add(x, y).to_dense(), xd + yd)
+    assert np.array_equal(ewise_mult(x, y).to_dense(), xd * yd)

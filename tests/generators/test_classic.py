@@ -1,0 +1,138 @@
+"""Tests for the deterministic classic graph families."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    balanced_tree,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+from repro.graphs import is_bipartite, is_connected
+
+
+class TestPath:
+    def test_sizes(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+
+    def test_single_vertex(self):
+        g = path_graph(1)
+        assert (g.n, g.m) == (1, 0)
+
+    def test_bipartite_connected(self):
+        g = path_graph(6)
+        assert is_bipartite(g) and is_connected(g)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+
+class TestCycle:
+    def test_sizes(self):
+        g = cycle_graph(5)
+        assert (g.n, g.m) == (5, 5)
+        assert np.all(g.degrees() == 2)
+
+    @pytest.mark.parametrize("n,bip", [(3, False), (4, True), (5, False), (6, True)])
+    def test_parity(self, n, bip):
+        assert is_bipartite(cycle_graph(n)) == bip
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestStar:
+    def test_sizes(self):
+        g = star_graph(6)
+        assert (g.n, g.m) == (7, 6)
+        assert g.degrees()[0] == 6
+
+    def test_zero_leaves(self):
+        g = star_graph(0)
+        assert (g.n, g.m) == (1, 0)
+
+
+class TestComplete:
+    def test_sizes(self):
+        g = complete_graph(5)
+        assert g.m == 10
+        assert np.all(g.degrees() == 4)
+
+    def test_k2_bipartite_k3_not(self):
+        assert is_bipartite(complete_graph(2))
+        assert not is_bipartite(complete_graph(3))
+
+
+class TestCompleteBipartite:
+    def test_sizes(self):
+        bg = complete_bipartite(3, 4)
+        assert bg.m == 12
+        assert bg.U.size == 3 and bg.W.size == 4
+
+    def test_degrees(self):
+        bg = complete_bipartite(2, 5)
+        d = bg.graph.degrees()
+        assert np.array_equal(np.sort(d), [2, 2, 2, 2, 2, 5, 5])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            complete_bipartite(0, 3)
+
+
+class TestGrid:
+    def test_sizes(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_bipartite_connected(self):
+        g = grid_graph(4, 5)
+        assert is_bipartite(g) and is_connected(g)
+
+    def test_degenerate_1x1(self):
+        g = grid_graph(1, 1)
+        assert (g.n, g.m) == (1, 0)
+
+    def test_row(self):
+        assert grid_graph(1, 5) == path_graph(5)
+
+
+class TestBalancedTree:
+    def test_sizes(self):
+        g = balanced_tree(2, 3)
+        assert g.n == 15
+        assert g.m == 14
+
+    def test_height_zero(self):
+        g = balanced_tree(3, 0)
+        assert (g.n, g.m) == (1, 0)
+
+    def test_unary_is_path(self):
+        assert balanced_tree(1, 4) == path_graph(5)
+
+    def test_tree_property(self):
+        g = balanced_tree(3, 2)
+        assert is_connected(g) and g.m == g.n - 1
+
+
+class TestWheel:
+    def test_sizes(self):
+        g = wheel_graph(5)
+        assert g.n == 6
+        assert g.m == 10
+        assert g.degrees()[0] == 5  # hub
+
+    def test_non_bipartite(self):
+        assert not is_bipartite(wheel_graph(6))
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            wheel_graph(2)

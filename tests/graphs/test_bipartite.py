@@ -1,0 +1,131 @@
+"""Tests for bipartiteness detection and BipartiteGraph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.generators import complete_bipartite, cycle_graph, path_graph, star_graph
+from repro.graphs import BipartiteGraph, Graph, bipartition, is_bipartite
+
+from tests.strategies import connected_bipartite_graphs, connected_nonbipartite_graphs
+
+
+class TestBipartition:
+    def test_even_cycle_bipartite(self):
+        colors, cert = bipartition(cycle_graph(6))
+        assert cert is None
+        assert set(colors.tolist()) == {0, 1}
+
+    def test_odd_cycle_not_bipartite(self):
+        colors, cert = bipartition(cycle_graph(5))
+        assert colors is None
+        assert cert.length() % 2 == 1
+
+    def test_certificate_is_genuine_odd_closed_walk(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5)])
+        colors, cert = bipartition(g)
+        assert colors is None
+        cycle = cert.cycle
+        assert cycle[0] == cycle[-1]
+        assert (len(cycle) - 1) % 2 == 1
+        for a, b in zip(cycle, cycle[1:]):
+            assert g.has_edge(a, b)
+
+    def test_self_loop_is_odd_cycle(self):
+        g = Graph(np.array([[1, 1], [1, 0]]))
+        colors, cert = bipartition(g)
+        assert colors is None
+        assert cert.length() == 1
+
+    def test_disconnected_components_colored_independently(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        colors, cert = bipartition(g)
+        assert cert is None
+        assert colors[0] != colors[1]
+        assert colors[2] != colors[3]
+
+    def test_isolated_vertices(self):
+        g = Graph.empty(3)
+        colors, cert = bipartition(g)
+        assert cert is None
+        assert np.array_equal(colors, [0, 0, 0])
+
+    def test_colors_are_proper(self):
+        g = path_graph(7)
+        colors, _ = bipartition(g)
+        u, v = g.edge_arrays()
+        assert np.all(colors[u] != colors[v])
+
+    @given(connected_bipartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_property_bipartite_detected(self, bg):
+        assert is_bipartite(bg.graph)
+
+    @given(connected_nonbipartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_property_nonbipartite_detected(self, g):
+        assert not is_bipartite(g)
+
+    def test_networkx_agreement(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            n = int(rng.integers(2, 12))
+            density = rng.random() * 0.5
+            mask = np.triu(rng.random((n, n)) < density, k=1)
+            adj = (mask | mask.T).astype(int)
+            g = Graph(adj)
+            nxg = nx.from_numpy_array(adj)
+            assert is_bipartite(g) == nx.is_bipartite(nxg)
+
+
+class TestBipartiteGraph:
+    def test_infers_parts(self):
+        bg = BipartiteGraph(path_graph(4))
+        assert bg.U.size + bg.W.size == 4
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(ValueError, match="odd cycle"):
+            BipartiteGraph(cycle_graph(3))
+
+    def test_explicit_part_validated(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="violated"):
+            BipartiteGraph(g, np.array([False, False, True]))
+
+    def test_explicit_part_shape(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(path_graph(3), np.array([False, True]))
+
+    def test_from_biadjacency(self):
+        bg = BipartiteGraph.from_biadjacency([[1, 0, 1], [0, 1, 0]])
+        assert bg.U.tolist() == [0, 1]
+        assert bg.W.tolist() == [2, 3, 4]
+        assert bg.m == 3
+
+    def test_biadjacency_roundtrip(self):
+        X = np.array([[1, 1, 0], [0, 0, 1]])
+        bg = BipartiteGraph.from_biadjacency(X)
+        assert np.array_equal(bg.biadjacency().toarray(), X)
+
+    def test_complete_bipartite_star(self):
+        bg = BipartiteGraph(star_graph(4))
+        # star: hub on one side, leaves on the other
+        assert {bg.U.size, bg.W.size} == {1, 4}
+
+    def test_canonical_reorders(self):
+        # Construct interleaved parts via explicit mask.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        bg = BipartiteGraph(g, np.array([False, True, False, True]))
+        canon, perm = bg.canonical()
+        assert np.array_equal(canon.U, [0, 1])
+        assert np.array_equal(canon.W, [2, 3])
+        # Edge preservation under the permutation.
+        for u, v in g.edges():
+            assert canon.graph.has_edge(int(perm[u]), int(perm[v]))
+
+    def test_kb_counts(self):
+        bg = complete_bipartite(2, 5)
+        assert bg.m == 10
+        assert bg.n == 7

@@ -1,0 +1,110 @@
+"""Tests for connected components and union-find."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.generators import cycle_graph, path_graph
+from repro.graphs import Graph, UnionFind, connected_components, is_connected
+from repro.graphs.connectivity import num_components
+
+from tests.strategies import connected_graphs
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        labels = connected_components(cycle_graph(5))
+        assert np.all(labels == 0)
+
+    def test_two_components(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_labels_by_discovery_order(self):
+        g = Graph.from_edges(4, [(2, 3)])
+        labels = connected_components(g)
+        assert labels.tolist() == [0, 1, 2, 2]
+
+    def test_isolated_vertices(self):
+        assert num_components(Graph.empty(4)) == 4
+
+    def test_empty_graph(self):
+        assert num_components(Graph.empty(0)) == 0
+        assert not is_connected(Graph.empty(0))
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(6))
+        assert not is_connected(Graph.from_edges(3, [(0, 1)]))
+
+    def test_self_loops_dont_connect(self):
+        g = Graph(np.array([[1, 0], [0, 1]]))
+        assert num_components(g) == 2
+
+    @given(connected_graphs(min_n=2, max_n=10))
+    @settings(max_examples=40, deadline=None)
+    def test_property_constructive_graphs_connected(self, g):
+        assert is_connected(g)
+
+    def test_networkx_agreement(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            n = int(rng.integers(1, 15))
+            mask = np.triu(rng.random((n, n)) < 0.15, k=1)
+            adj = (mask | mask.T).astype(int)
+            g = Graph(adj)
+            nxg = nx.from_numpy_array(adj)
+            assert num_components(g) == nx.number_connected_components(nxg)
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.n_components == 3
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+
+    def test_union_same_set_is_noop(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 2
+
+    def test_transitivity(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_union_arrays(self):
+        uf = UnionFind(6)
+        uf.union_arrays(np.array([0, 2, 4]), np.array([1, 3, 5]))
+        assert uf.n_components == 3
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_matches_bfs_components(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = int(rng.integers(2, 20))
+            m = int(rng.integers(0, 2 * n))
+            u = rng.integers(0, n, m)
+            v = rng.integers(0, n, m)
+            g = Graph.from_edge_arrays(n, u, v)
+            g_loopfree = g.without_self_loops()
+            uf = UnionFind(n)
+            eu, ev = g_loopfree.edge_arrays()
+            uf.union_arrays(eu, ev)
+            assert uf.n_components == num_components(g_loopfree)

@@ -1,0 +1,97 @@
+"""Tests for core decomposition and degeneracy."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    balanced_tree,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs import Graph, core_decomposition, degeneracy
+from repro.graphs.degeneracy import degeneracy_ordering
+
+
+class TestCoreDecomposition:
+    def test_cycle_all_2core(self):
+        assert np.all(core_decomposition(cycle_graph(7)) == 2)
+
+    def test_tree_all_1core(self):
+        cores = core_decomposition(balanced_tree(2, 3))
+        assert np.all(cores == 1)
+
+    def test_complete_graph(self):
+        assert np.all(core_decomposition(complete_graph(5)) == 4)
+
+    def test_star(self):
+        cores = core_decomposition(star_graph(6))
+        assert np.all(cores == 1)
+
+    def test_mixed(self):
+        # Triangle with a pendant path: triangle is 2-core, tail 1-core.
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        cores = core_decomposition(g)
+        assert cores[:3].tolist() == [2, 2, 2]
+        assert cores[3] == 1 and cores[4] == 1
+
+    def test_empty(self):
+        assert core_decomposition(Graph.empty(0)).size == 0
+        assert np.all(core_decomposition(Graph.empty(4)) == 0)
+
+    def test_self_loops_ignored(self):
+        g = path_graph(3).with_all_self_loops()
+        assert np.all(core_decomposition(g) == 1)
+
+    def test_networkx_agreement(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(8)
+        for _ in range(15):
+            n = int(rng.integers(3, 15))
+            mask = np.triu(rng.random((n, n)) < 0.3, k=1)
+            adj = (mask | mask.T).astype(int)
+            g = Graph(adj)
+            nxg = nx.from_numpy_array(adj)
+            expected = nx.core_number(nxg)
+            got = core_decomposition(g)
+            assert all(got[v] == expected[v] for v in range(n))
+
+
+class TestDegeneracy:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(5), 1),
+            (cycle_graph(6), 2),
+            (complete_graph(6), 5),
+            (complete_bipartite(3, 7).graph, 3),
+            (Graph.empty(3), 0),
+        ],
+    )
+    def test_known_values(self, graph, expected):
+        assert degeneracy(graph) == expected
+
+
+class TestDegeneracyOrdering:
+    def test_ordering_certifies_delta(self):
+        g = complete_bipartite(3, 5).graph
+        order, delta = degeneracy_ordering(g)
+        assert delta == degeneracy(g)
+        position = np.empty(g.n, dtype=int)
+        position[order] = np.arange(g.n)
+        # Every vertex has at most delta later neighbours.
+        for v in range(g.n):
+            later = sum(1 for u in g.neighbors(v) if position[u] > position[v])
+            assert later <= delta
+
+    def test_ordering_is_permutation(self):
+        g = cycle_graph(9)
+        order, _ = degeneracy_ordering(g)
+        assert np.array_equal(np.sort(order), np.arange(9))
+
+    def test_empty(self):
+        order, delta = degeneracy_ordering(Graph.empty(0))
+        assert order.size == 0 and delta == 0

@@ -1,0 +1,68 @@
+"""Tests for the vectorised edge-array component labelling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, connected_components
+from repro.graphs.connectivity import components_from_edge_arrays
+
+
+class TestBasics:
+    def test_no_edges(self):
+        labels = components_from_edge_arrays(4, np.array([]), np.array([]))
+        assert labels.tolist() == [0, 1, 2, 3]
+
+    def test_single_edge(self):
+        labels = components_from_edge_arrays(3, np.array([1]), np.array([2]))
+        assert labels[1] == labels[2] == 1
+        assert labels[0] == 0
+
+    def test_chain(self):
+        u = np.array([0, 1, 2, 3])
+        v = np.array([1, 2, 3, 4])
+        labels = components_from_edge_arrays(5, u, v)
+        assert np.all(labels == 0)
+
+    def test_canonical_min_labels(self):
+        labels = components_from_edge_arrays(6, np.array([3, 5]), np.array([4, 2]))
+        assert labels.tolist() == [0, 1, 2, 3, 3, 2]
+
+    def test_duplicate_and_reversed_edges(self):
+        u = np.array([0, 1, 1, 0])
+        v = np.array([1, 0, 0, 1])
+        labels = components_from_edge_arrays(2, u, v)
+        assert labels.tolist() == [0, 0]
+
+    def test_self_loop_edges_harmless(self):
+        labels = components_from_edge_arrays(2, np.array([0]), np.array([0]))
+        assert labels.tolist() == [0, 1]
+
+    def test_zero_vertices(self):
+        assert components_from_edge_arrays(0, np.array([]), np.array([])).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="range"):
+            components_from_edge_arrays(2, np.array([0]), np.array([2]))
+        with pytest.raises(ValueError, match="equal length"):
+            components_from_edge_arrays(3, np.array([0, 1]), np.array([2]))
+        with pytest.raises(ValueError):
+            components_from_edge_arrays(-1, np.array([]), np.array([]))
+
+
+@given(
+    st.integers(1, 25),
+    st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_matches_bfs(n, raw_edges):
+    edges = [(a % n, b % n) for a, b in raw_edges if a % n != b % n]
+    g = Graph.from_edges(n, edges) if edges else Graph.empty(n)
+    u, v = g.edge_arrays()
+    labels = components_from_edge_arrays(n, u, v)
+    ref = connected_components(g)
+    # Same partition, and labels must be the component-min vertex ids.
+    for a in range(n):
+        same = ref == ref[a]
+        assert labels[a] == np.flatnonzero(same).min()

@@ -1,0 +1,77 @@
+"""Tests for Hopcroft-Karp maximum matching."""
+
+import numpy as np
+import pytest
+
+from repro.generators import bipartite_chung_lu, complete_bipartite, path_graph, star_graph
+from repro.graphs import BipartiteGraph
+from repro.graphs.matching import matching_number, maximum_matching
+
+
+def _is_valid_matching(bg: BipartiteGraph, matching: dict[int, int]) -> bool:
+    used_w = set()
+    for u, w in matching.items():
+        if not bg.graph.has_edge(u, w):
+            return False
+        if w in used_w:
+            return False
+        used_w.add(w)
+    return True
+
+
+class TestKnownValues:
+    def test_complete_bipartite(self):
+        assert matching_number(complete_bipartite(3, 5)) == 3
+        assert matching_number(complete_bipartite(4, 4)) == 4
+
+    def test_star(self):
+        assert matching_number(BipartiteGraph(star_graph(7))) == 1
+
+    def test_path(self):
+        # P_{2k} has a perfect matching of size k.
+        assert matching_number(BipartiteGraph(path_graph(6))) == 3
+        assert matching_number(BipartiteGraph(path_graph(7))) == 3
+
+    def test_empty_side(self):
+        bg = BipartiteGraph.from_biadjacency(np.zeros((3, 3), dtype=int))
+        assert matching_number(bg) == 0
+
+    def test_identity_biadjacency(self):
+        bg = BipartiteGraph.from_biadjacency(np.eye(4, dtype=int))
+        m = maximum_matching(bg)
+        assert len(m) == 4
+        assert _is_valid_matching(bg, m)
+
+    def test_koenig_obstruction(self):
+        # Two U vertices sharing a single W neighbour: only one matches.
+        X = np.array([[1], [1]])
+        assert matching_number(BipartiteGraph.from_biadjacency(X)) == 1
+
+
+class TestValidity:
+    def test_matching_edges_exist_and_disjoint(self):
+        bg = bipartite_chung_lu(np.full(15, 3.0), np.full(18, 2.5), seed=0)
+        m = maximum_matching(bg)
+        assert _is_valid_matching(bg, m)
+
+    def test_networkx_agreement(self):
+        import networkx as nx
+
+        for seed in range(5):
+            bg = bipartite_chung_lu(np.full(12, 2.5), np.full(14, 2.0), seed=seed)
+            nxg = nx.Graph(list(bg.graph.edges()))
+            nxg.add_nodes_from(range(bg.n))
+            expected = len(nx.bipartite.maximum_matching(nxg, top_nodes=set(bg.U.tolist()))) // 2
+            assert matching_number(bg) == expected
+
+    def test_product_matching_bounds(self):
+        """Block structure bounds: the product of K_{a,a} factors under
+        1(ii) has a perfect matching on the smaller side."""
+        from repro.kronecker import Assumption, make_bipartite_product
+
+        bk = make_bipartite_product(
+            complete_bipartite(2, 2), complete_bipartite(3, 3), Assumption.SELF_LOOPS_FACTOR
+        )
+        C = bk.materialize_bipartite()
+        nu = min(C.U.size, C.W.size)
+        assert matching_number(C) == nu

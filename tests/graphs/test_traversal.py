@@ -1,0 +1,108 @@
+"""Tests for BFS, hop distances, eccentricity, diameter, radius."""
+
+import numpy as np
+import pytest
+
+from repro.generators import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
+from repro.graphs import (
+    Graph,
+    bfs_levels,
+    diameter,
+    eccentricities,
+    eccentricity,
+    hop_distance,
+    radius,
+)
+
+
+class TestBfsLevels:
+    def test_path_levels(self):
+        levels = bfs_levels(path_graph(5), 0)
+        assert np.array_equal(levels, [0, 1, 2, 3, 4])
+
+    def test_multi_source(self):
+        levels = bfs_levels(path_graph(5), [0, 4])
+        assert np.array_equal(levels, [0, 1, 2, 1, 0])
+
+    def test_unreachable_marked(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        levels = bfs_levels(g, 0)
+        assert levels[2] == -1 and levels[3] == -1
+
+    def test_source_out_of_range(self):
+        with pytest.raises(IndexError):
+            bfs_levels(path_graph(3), 5)
+
+    def test_self_loops_ignored(self):
+        g = path_graph(3).with_all_self_loops()
+        assert np.array_equal(bfs_levels(g, 0), [0, 1, 2])
+
+
+class TestHopDistance:
+    def test_path(self):
+        assert hop_distance(path_graph(6), 0, 5) == 5
+
+    def test_cycle_wraps(self):
+        assert hop_distance(cycle_graph(6), 0, 4) == 2
+
+    def test_unreachable(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert hop_distance(g, 0, 2) == -1
+
+    def test_self_distance_zero(self):
+        assert hop_distance(path_graph(3), 1, 1) == 0
+
+
+class TestEccentricity:
+    def test_path_center_vs_end(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="eccentricity"):
+            eccentricity(g, 0)
+
+    def test_eccentricities_all(self):
+        g = cycle_graph(6)
+        assert np.all(eccentricities(g) == 3)
+
+    def test_eccentricities_sampled(self):
+        g = cycle_graph(8)
+        out = eccentricities(g, sample=3, rng=0)
+        evaluated = out[out != -1]
+        assert evaluated.size == 3
+        assert np.all(evaluated == 4)
+
+
+class TestDiameterRadius:
+    @pytest.mark.parametrize(
+        "graph,expected_diam,expected_rad",
+        [
+            (path_graph(5), 4, 2),
+            (cycle_graph(6), 3, 3),
+            (complete_graph(4), 1, 1),
+            (star_graph(5), 2, 1),
+            (grid_graph(3, 4), 5, 3),
+        ],
+    )
+    def test_known_values(self, graph, expected_diam, expected_rad):
+        assert diameter(graph) == expected_diam
+        assert radius(graph) == expected_rad
+
+    def test_networkx_agreement(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(17)
+        for _ in range(10):
+            n = int(rng.integers(3, 12))
+            # connected random graph: path + extras
+            edges = [(i, i + 1) for i in range(n - 1)]
+            extra = rng.integers(0, n, size=(5, 2))
+            edges += [tuple(e) for e in extra if e[0] != e[1]]
+            g = Graph.from_edges(n, edges)
+            nxg = nx.Graph(list(g.edges()))
+            nxg.add_nodes_from(range(n))
+            assert diameter(g) == nx.diameter(nxg)
+            assert radius(g) == nx.radius(nxg)

@@ -1,0 +1,95 @@
+"""Tests for Assumption 1 validation and the BipartiteKronecker handle."""
+
+import numpy as np
+import pytest
+
+from repro.generators import complete_bipartite, cycle_graph, path_graph
+from repro.graphs import BipartiteGraph, Graph, is_bipartite
+from repro.kronecker import Assumption, make_bipartite_product
+
+
+class TestValidation:
+    def test_assumption_i_accepts(self):
+        bk = make_bipartite_product(cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        assert bk.assumption is Assumption.NON_BIPARTITE_FACTOR
+        assert bk.M == bk.A  # no loops added
+
+    def test_assumption_i_rejects_bipartite_A(self):
+        with pytest.raises(ValueError, match="non-bipartite"):
+            make_bipartite_product(path_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+
+    def test_assumption_ii_accepts(self):
+        bk = make_bipartite_product(path_graph(3), path_graph(4), Assumption.SELF_LOOPS_FACTOR)
+        assert bk.M.has_all_self_loops
+        assert bk.A_bipartite is not None
+
+    def test_assumption_ii_rejects_odd_cycle_A(self):
+        with pytest.raises(ValueError, match="bipartite"):
+            make_bipartite_product(cycle_graph(5), path_graph(4), Assumption.SELF_LOOPS_FACTOR)
+
+    def test_rejects_nonbipartite_B(self):
+        with pytest.raises(ValueError, match="factor B must be bipartite"):
+            make_bipartite_product(cycle_graph(3), cycle_graph(5), Assumption.NON_BIPARTITE_FACTOR)
+
+    def test_rejects_loops_in_A(self):
+        with pytest.raises(ValueError, match="loop-free"):
+            make_bipartite_product(
+                path_graph(3).with_all_self_loops(), path_graph(4), Assumption.SELF_LOOPS_FACTOR
+            )
+
+    def test_rejects_loops_in_B(self):
+        with pytest.raises(ValueError, match="loop-free"):
+            make_bipartite_product(
+                cycle_graph(3), path_graph(4).with_all_self_loops(), Assumption.NON_BIPARTITE_FACTOR
+            )
+
+    def test_rejects_disconnected_by_default(self):
+        disconnected = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="connected"):
+            make_bipartite_product(cycle_graph(3), disconnected, Assumption.NON_BIPARTITE_FACTOR)
+
+    def test_disconnected_allowed_when_relaxed(self):
+        disconnected = Graph.from_edges(4, [(0, 1), (2, 3)])
+        bk = make_bipartite_product(
+            cycle_graph(3), disconnected, Assumption.NON_BIPARTITE_FACTOR, require_connected=False
+        )
+        assert bk.n == 12
+
+    def test_accepts_bipartitegraph_inputs(self):
+        A = complete_bipartite(2, 2)
+        B = complete_bipartite(2, 3)
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        # caller's part assignment preserved
+        assert np.array_equal(bk.A_bipartite.part, A.part)
+        assert np.array_equal(bk.B.part, B.part)
+
+
+class TestProductStructure:
+    def test_product_is_bipartite(self):
+        bk = make_bipartite_product(cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        assert is_bipartite(bk.materialize())
+
+    def test_product_part_is_valid_bipartition(self):
+        bk = make_bipartite_product(path_graph(4), path_graph(5), Assumption.SELF_LOOPS_FACTOR)
+        C = bk.materialize()
+        part = bk.product_part()
+        u, v = C.edge_arrays()
+        assert np.all(part[u] != part[v])
+
+    def test_part_sizes(self):
+        A = complete_bipartite(2, 3)
+        B = complete_bipartite(3, 4)
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        assert bk.U.size == A.n * 3
+        assert bk.W.size == A.n * 4
+
+    def test_materialize_bipartite(self):
+        bk = make_bipartite_product(cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        bg = bk.materialize_bipartite()
+        assert bg.n == bk.n
+
+    def test_sizes_consistent(self):
+        bk = make_bipartite_product(path_graph(3), path_graph(4), Assumption.SELF_LOOPS_FACTOR)
+        C = bk.materialize()
+        assert bk.n == C.n
+        assert bk.m == C.m

@@ -1,0 +1,98 @@
+"""Tests for Def. 10 / Thm. 6 edge clustering on products (§III-B3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analytics import edge_squares_matrix
+from repro.generators import complete_bipartite, complete_graph, cycle_graph, path_graph
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.kronecker.clustering import (
+    edge_clustering_ground_truth,
+    psi_factor,
+    thm6_lower_bound,
+)
+
+from tests.strategies import connected_bipartite_graphs, connected_nonbipartite_graphs
+
+
+class TestPsi:
+    def test_scalar_value(self):
+        # d_i=d_j=d_k=d_l=2: psi = 1/9 (the paper's lower extreme).
+        assert psi_factor(2, 2, 2, 2) == pytest.approx(1 / 9)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        d = rng.integers(2, 30, size=(4, 200))
+        psi = psi_factor(*d)
+        assert np.all(psi >= 1 / 9)
+        assert np.all(psi < 1.0)
+
+    def test_approaches_one_for_large_degrees(self):
+        assert psi_factor(100, 100, 100, 100) > 0.96
+
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            psi_factor(1, 2, 2, 2)
+
+
+class TestGroundTruthGamma:
+    def test_matches_direct_on_materialized(self):
+        A = complete_graph(4)
+        B = complete_bipartite(2, 3).graph
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        p, q, gamma = edge_clustering_ground_truth(bk)
+        C = bk.materialize()
+        dia = edge_squares_matrix(C)
+        d = C.degrees()
+        for pp, qq, g in zip(p[:200], q[:200], gamma[:200]):
+            expected = dia[pp, qq] / ((d[pp] - 1) * (d[qq] - 1))
+            assert g == pytest.approx(expected)
+
+    def test_degree_one_endpoints_excluded(self):
+        A = cycle_graph(3)
+        B = path_graph(2)  # all degree 1
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        # Product degrees: d_i * d_k = 2 * 1 = 2 -> all valid here.
+        p, q, gamma = edge_clustering_ground_truth(bk)
+        assert gamma.size > 0
+
+    def test_gamma_in_unit_interval(self, bk_assumption_ii):
+        _, _, gamma = edge_clustering_ground_truth(bk_assumption_ii)
+        assert np.all(gamma >= 0)
+        assert np.all(gamma <= 1 + 1e-12)
+
+
+class TestThm6Bound:
+    def test_bound_holds_deterministic(self):
+        A = complete_graph(4)                      # squares in A
+        B = complete_bipartite(2, 3).graph         # squares in B
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        res = thm6_lower_bound(bk)
+        assert res["p"].size > 0
+        assert np.all(res["gamma_c"] + 1e-12 >= res["bound"])
+
+    def test_bound_nontrivial_when_factors_cluster(self):
+        A = complete_graph(5)
+        B = complete_bipartite(3, 3).graph
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        res = thm6_lower_bound(bk)
+        assert res["bound"].max() > 0.01  # genuinely informative
+
+    @given(connected_nonbipartite_graphs(max_n=5), connected_bipartite_graphs(max_side=3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bound_never_violated(self, A, B):
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        res = thm6_lower_bound(bk)
+        assert np.all(res["gamma_c"] + 1e-12 >= res["bound"])
+
+    def test_empty_when_no_valid_edges(self):
+        # Star factors: every A edge has a degree-1 endpoint.
+        from repro.generators import star_graph
+
+        A = cycle_graph(3)
+        B = star_graph(3)
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        res = thm6_lower_bound(bk)
+        # B edges all touch degree-1 leaves -> no (k,l) qualifies.
+        assert res["p"].size == 0

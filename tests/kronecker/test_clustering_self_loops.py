@@ -1,0 +1,68 @@
+"""Tests for the derived 1(ii) clustering scaling law (paper extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.generators import complete_bipartite, path_graph
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.kronecker.clustering import (
+    psi_factor_self_loops,
+    thm6_lower_bound,
+    thm6_lower_bound_self_loops,
+)
+
+from tests.strategies import connected_bipartite_graphs
+
+
+class TestPsiSelfLoops:
+    def test_lower_extreme(self):
+        # degrees all 2: (1*1*1*1)/((3*2-1)(3*2-1)) = 1/25
+        assert psi_factor_self_loops(2, 2, 2, 2) == pytest.approx(1 / 25)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        d = rng.integers(2, 30, size=(4, 300))
+        psi = psi_factor_self_loops(*d)
+        assert np.all(psi >= 1 / 25)
+        assert np.all(psi < 1.0)
+
+    def test_rejects_low_degrees(self):
+        with pytest.raises(ValueError):
+            psi_factor_self_loops(1, 2, 2, 2)
+
+
+class TestBoundSelfLoops:
+    def test_bound_holds_deterministic(self):
+        A = complete_bipartite(3, 3).graph
+        B = complete_bipartite(2, 4).graph
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        res = thm6_lower_bound_self_loops(bk)
+        assert res["p"].size > 0
+        assert np.all(res["gamma_c"] + 1e-12 >= res["bound"])
+        assert res["bound"].max() > 0.005  # non-vacuous on clustering factors
+
+    def test_wrong_assumption_rejected(self):
+        from repro.generators import cycle_graph
+
+        bk = make_bipartite_product(cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        with pytest.raises(ValueError, match="thm6_lower_bound"):
+            thm6_lower_bound_self_loops(bk)
+        with pytest.raises(ValueError):
+            # And the 1(i) evaluator is the one that applies there.
+            thm6_lower_bound_self_loops(bk)
+
+    def test_empty_when_degrees_too_small(self):
+        bk = make_bipartite_product(path_graph(2), path_graph(4), Assumption.SELF_LOOPS_FACTOR)
+        res = thm6_lower_bound_self_loops(bk)
+        assert res["p"].size == 0  # P2's endpoints have degree 1
+
+    @given(
+        connected_bipartite_graphs(min_side=2, max_side=3),
+        connected_bipartite_graphs(min_side=2, max_side=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_bound_never_violated(self, A, B):
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        res = thm6_lower_bound_self_loops(bk)
+        assert np.all(res["gamma_c"] + 1e-12 >= res["bound"])

@@ -1,0 +1,194 @@
+"""Tests for community structure under products (§III-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import complete_bipartite, path_graph
+from repro.graphs import BipartiteGraph
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.kronecker.community import (
+    BipartiteCommunity,
+    community_counts,
+    community_densities,
+    cor1_internal_density_bound,
+    cor2_external_density_bound,
+    product_community,
+    thm7_product_counts,
+)
+
+from tests.strategies import connected_bipartite_graphs
+
+
+@pytest.fixture
+def host():
+    # K_{3,4} with an extra pendant: rich enough for in/out counts.
+    X = np.ones((3, 4), dtype=int)
+    return BipartiteGraph.from_biadjacency(X)
+
+
+class TestBipartiteCommunity:
+    def test_parts_derived(self, host):
+        comm = BipartiteCommunity(host, [0, 1, 3, 4])
+        assert comm.R.tolist() == [0, 1]
+        assert comm.T.tolist() == [3, 4]
+
+    def test_members_deduped_sorted(self, host):
+        comm = BipartiteCommunity(host, [4, 0, 4])
+        assert comm.members.tolist() == [0, 4]
+
+    def test_out_of_range(self, host):
+        with pytest.raises(ValueError):
+            BipartiteCommunity(host, [99])
+
+    def test_indicator(self, host):
+        comm = BipartiteCommunity(host, [0, 3])
+        ind = comm.indicator()
+        assert ind.sum() == 2
+        assert ind[0] == 1 and ind[3] == 1
+
+
+class TestCounts:
+    def test_full_graph_all_internal(self, host):
+        comm = BipartiteCommunity(host, np.arange(host.n))
+        m_in, m_out = community_counts(comm)
+        assert m_in == host.m
+        assert m_out == 0
+
+    def test_single_vertex(self, host):
+        comm = BipartiteCommunity(host, [0])
+        m_in, m_out = community_counts(comm)
+        assert m_in == 0
+        assert m_out == host.graph.degrees()[0]
+
+    def test_known_block(self, host):
+        # {u0, u1} x {w0} inside K_{3,4}: internal = 2 edges.
+        comm = BipartiteCommunity(host, [0, 1, 3])
+        m_in, m_out = community_counts(comm)
+        assert m_in == 2
+        # external: u0,u1 have 3 other W-neighbours each; w0 has 1 other U-neighbour.
+        assert m_out == 3 + 3 + 1
+
+    def test_densities(self, host):
+        comm = BipartiteCommunity(host, [0, 1, 3])
+        rho_in, rho_out = community_densities(comm)
+        assert rho_in == pytest.approx(2 / (2 * 1))
+        denom_out = 2 * 4 + 3 * 1 - 2 * 2 * 1
+        assert rho_out == pytest.approx(7 / denom_out)
+
+    def test_one_sided_community_zero_density(self, host):
+        comm = BipartiteCommunity(host, [0, 1])
+        rho_in, _ = community_densities(comm)
+        assert rho_in == 0.0
+
+
+class TestThm7:
+    def _random_community(self, bg, rng):
+        size = rng.integers(1, bg.n + 1)
+        return BipartiteCommunity(bg, rng.choice(bg.n, size=size, replace=False))
+
+    def test_exact_on_deterministic_case(self):
+        A = complete_bipartite(2, 2)
+        B = complete_bipartite(2, 3)
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        ca = BipartiteCommunity(A, [0, 2, 3])
+        cb = BipartiteCommunity(B, [0, 1, 2, 3])
+        sc = product_community(bk, ca, cb)
+        assert thm7_product_counts(ca, cb) == community_counts(sc)
+
+    def test_exact_on_random_cases(self):
+        rng = np.random.default_rng(0)
+        A = complete_bipartite(2, 3)
+        B = BipartiteGraph(path_graph(6))
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        for _ in range(10):
+            ca = self._random_community(A, rng)
+            cb = self._random_community(B, rng)
+            sc = product_community(bk, ca, cb)
+            assert thm7_product_counts(ca, cb) == community_counts(sc)
+
+    @given(
+        connected_bipartite_graphs(max_side=3),
+        connected_bipartite_graphs(max_side=3),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, A, B, rnd):
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        members_a = [v for v in range(A.n) if rnd.random() < 0.6] or [0]
+        members_b = [v for v in range(B.n) if rnd.random() < 0.6] or [0]
+        ca = BipartiteCommunity(A, members_a)
+        cb = BipartiteCommunity(B, members_b)
+        sc = product_community(bk, ca, cb)
+        assert thm7_product_counts(ca, cb) == community_counts(sc)
+
+    def test_product_community_requires_assumption_ii(self):
+        from repro.generators import cycle_graph
+
+        bk = make_bipartite_product(cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        B = bk.B
+        cb = BipartiteCommunity(B, [0])
+        with pytest.raises(ValueError, match="1\\(ii\\)"):
+            product_community(bk, cb, cb)
+
+    def test_part_sizes_of_product_community(self):
+        """Def. 12: |R_C| = |S_A||R_B| and |T_C| = |S_A||T_B|."""
+        A = complete_bipartite(2, 2)
+        B = complete_bipartite(2, 3)
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        ca = BipartiteCommunity(A, [0, 2])
+        cb = BipartiteCommunity(B, [0, 1, 2, 4])
+        sc = product_community(bk, ca, cb)
+        assert sc.R.size == ca.size * cb.R.size
+        assert sc.T.size == ca.size * cb.T.size
+
+
+class TestCorollaries:
+    def _setup(self):
+        A = complete_bipartite(3, 3)
+        B = complete_bipartite(2, 4)
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        ca = BipartiteCommunity(A, [0, 1, 3, 4])   # 2x2 sub-block
+        cb = BipartiteCommunity(B, [0, 2, 3])      # 1x2 sub-block
+        return bk, ca, cb
+
+    def test_cor1_lower_bound_holds(self):
+        bk, ca, cb = self._setup()
+        sc = product_community(bk, ca, cb)
+        rho_in, _ = community_densities(sc)
+        assert rho_in >= cor1_internal_density_bound(ca, cb) - 1e-12
+
+    def test_cor2_upper_bound_holds(self):
+        bk, ca, cb = self._setup()
+        sc = product_community(bk, ca, cb)
+        _, rho_out = community_densities(sc)
+        assert rho_out <= cor2_external_density_bound(ca, cb) + 1e-12
+
+    def test_cor2_vacuous_without_external_edges(self):
+        A = complete_bipartite(2, 2)
+        ca = BipartiteCommunity(A, np.arange(A.n))  # whole graph
+        assert cor2_external_density_bound(ca, ca) == float("inf")
+
+    def test_cor1_vacuous_for_one_sided(self):
+        A = complete_bipartite(2, 2)
+        ca = BipartiteCommunity(A, [0, 1])  # only U side
+        cb = BipartiteCommunity(A, [0, 2])
+        assert cor1_internal_density_bound(ca, cb) == 0.0
+
+    @given(
+        connected_bipartite_graphs(min_side=2, max_side=3),
+        connected_bipartite_graphs(min_side=2, max_side=3),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounds(self, A, B, rnd):
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        members_a = [v for v in range(A.n) if rnd.random() < 0.7] or [0]
+        members_b = [v for v in range(B.n) if rnd.random() < 0.7] or [0]
+        ca = BipartiteCommunity(A, members_a)
+        cb = BipartiteCommunity(B, members_b)
+        sc = product_community(bk, ca, cb)
+        rho_in, rho_out = community_densities(sc)
+        assert rho_in >= cor1_internal_density_bound(ca, cb) - 1e-12
+        assert rho_out <= cor2_external_density_bound(ca, cb) + 1e-12

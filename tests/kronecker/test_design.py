@@ -1,0 +1,103 @@
+"""Tests for the factor-design search."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import global_squares
+from repro.generators import complete_bipartite, path_graph
+from repro.graphs import BipartiteGraph
+from repro.kronecker.design import (
+    DesignCandidate,
+    DesignTarget,
+    default_factor_library,
+    design_product,
+)
+
+
+@pytest.fixture(scope="module")
+def small_library():
+    return [
+        ("path:4", BipartiteGraph(path_graph(4))),
+        ("path:6", BipartiteGraph(path_graph(6))),
+        ("biclique:2x2", complete_bipartite(2, 2)),
+        ("biclique:2x3", complete_bipartite(2, 3)),
+        ("biclique:3x3", complete_bipartite(3, 3)),
+    ]
+
+
+class TestLibrary:
+    def test_default_library_valid(self):
+        from repro.graphs import is_bipartite, is_connected
+
+        lib = default_factor_library(max_size=12)
+        assert len(lib) > 10
+        for label, bg in lib:
+            assert is_bipartite(bg.graph), label
+            assert is_connected(bg.graph), label
+            assert not bg.graph.has_self_loops
+
+
+class TestDesign:
+    def test_exact_target_is_found(self, small_library):
+        """Target the statistics of a known library product; the search
+        must rank that product first with score ~0."""
+        from repro.kronecker import Assumption, global_squares_product, make_bipartite_product
+
+        ref = make_bipartite_product(
+            complete_bipartite(3, 3), complete_bipartite(2, 3), Assumption.SELF_LOOPS_FACTOR
+        )
+        target = DesignTarget(
+            n_vertices=ref.n,
+            n_edges=ref.m,
+            global_squares=global_squares_product(ref),
+        )
+        best = design_product(target, library=small_library, top_k=3)[0]
+        assert best.label_a == "biclique:3x3"
+        assert best.label_b == "biclique:2x3"
+        assert best.score < 1e-9
+
+    def test_scores_sorted(self, small_library):
+        results = design_product(DesignTarget(n_vertices=100), library=small_library, top_k=5)
+        scores = [c.score for c in results]
+        assert scores == sorted(scores)
+
+    def test_reported_stats_are_exact(self, small_library):
+        """Candidate statistics must equal direct counts on the
+        materialized product (the whole point of formula scoring)."""
+        results = design_product(
+            DesignTarget(n_vertices=60, global_squares=100), library=small_library, top_k=3
+        )
+        for cand in results:
+            C = cand.bk.materialize()
+            assert cand.n_vertices == C.n
+            assert cand.n_edges == C.m
+            assert cand.global_squares == global_squares(C)
+
+    def test_unconstrained_target(self, small_library):
+        results = design_product(DesignTarget(), library=small_library, top_k=2)
+        assert all(c.score == 0.0 for c in results)
+
+    def test_square_budget_steers_choice(self, small_library):
+        """Asking for many squares must prefer biclique-heavy pairs
+        over path pairs."""
+        rich = design_product(
+            DesignTarget(global_squares=50_000, weight_squares=5.0),
+            library=small_library,
+            top_k=1,
+        )[0]
+        poor = design_product(
+            DesignTarget(global_squares=10, weight_squares=5.0),
+            library=small_library,
+            top_k=1,
+        )[0]
+        assert rich.global_squares > poor.global_squares
+
+    def test_invalid_args(self, small_library):
+        with pytest.raises(ValueError):
+            design_product(DesignTarget(), library=small_library, top_k=0)
+        with pytest.raises(ValueError):
+            design_product(DesignTarget(), library=[])
+
+    def test_format(self, small_library):
+        cand = design_product(DesignTarget(n_vertices=30), library=small_library, top_k=1)[0]
+        assert "(x)" in cand.format()

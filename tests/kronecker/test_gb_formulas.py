@@ -1,0 +1,83 @@
+"""Tests: the GraphBLAS-expressed formulas match the production path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analytics import edge_squares_matrix, vertex_squares_matrix
+from repro.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.kronecker import (
+    Assumption,
+    global_squares_product,
+    make_bipartite_product,
+    vertex_squares_product,
+)
+from repro.kronecker.gb_formulas import (
+    gb_degree_vector,
+    gb_edge_squares,
+    gb_global_squares,
+    gb_product_vertex_squares,
+    gb_vertex_squares,
+    gb_walk2_vector,
+)
+
+from tests.strategies import connected_graphs
+
+
+class TestFactorQuantities:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(6), complete_graph(5), grid_graph(3, 3), complete_bipartite(3, 4).graph],
+    )
+    def test_degree_and_walks(self, graph):
+        d = graph.degrees()
+        assert np.array_equal(gb_degree_vector(graph).to_dense(), d)
+        assert np.array_equal(gb_walk2_vector(graph).to_dense(), np.asarray(graph.adj @ d).ravel())
+
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(4), complete_graph(5), grid_graph(2, 4), complete_bipartite(2, 5).graph],
+    )
+    def test_vertex_squares(self, graph):
+        assert np.array_equal(gb_vertex_squares(graph).to_dense(), vertex_squares_matrix(graph))
+
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(4), complete_graph(4), grid_graph(3, 3), complete_bipartite(3, 3).graph],
+    )
+    def test_edge_squares(self, graph):
+        assert np.array_equal(gb_edge_squares(graph).to_dense(), edge_squares_matrix(graph).toarray())
+
+    def test_rejects_self_loops(self):
+        g = path_graph(3).with_all_self_loops()
+        with pytest.raises(ValueError, match="loop"):
+            gb_vertex_squares(g)
+        with pytest.raises(ValueError, match="loop"):
+            gb_edge_squares(g)
+
+    @given(connected_graphs(min_n=2, max_n=7))
+    @settings(max_examples=25, deadline=None)
+    def test_property_factor_squares(self, g):
+        assert np.array_equal(gb_vertex_squares(g).to_dense(), vertex_squares_matrix(g))
+
+
+class TestProductQuantities:
+    @pytest.mark.parametrize("assumption", list(Assumption))
+    def test_product_vertex_squares(self, assumption):
+        if assumption is Assumption.NON_BIPARTITE_FACTOR:
+            bk = make_bipartite_product(cycle_graph(5), path_graph(4), assumption)
+        else:
+            bk = make_bipartite_product(path_graph(4), path_graph(5), assumption)
+        assert np.array_equal(
+            gb_product_vertex_squares(bk).to_dense(), vertex_squares_product(bk)
+        )
+
+    def test_global(self, bk_assumption_i, bk_assumption_ii):
+        for bk in (bk_assumption_i, bk_assumption_ii):
+            assert gb_global_squares(bk) == global_squares_product(bk)

@@ -1,0 +1,161 @@
+"""Tests for the edge 4-cycle formulas (Thm. 5 and the derived
+Assumption-1(ii) variant, §III-B2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analytics import edge_squares_matrix
+from repro.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.kronecker import (
+    Assumption,
+    edge_squares_product,
+    make_bipartite_product,
+    vertex_squares_product,
+)
+
+from tests.strategies import connected_bipartite_graphs, connected_nonbipartite_graphs
+
+
+def _dense_edge_counts(bk):
+    """Direct ◇ of the materialized product, as dense reference."""
+    return edge_squares_matrix(bk.materialize()).toarray()
+
+
+class TestThm5:
+    """Assumption 1(i) edges."""
+
+    @pytest.mark.parametrize(
+        "A,B",
+        [
+            (cycle_graph(3), path_graph(3)),
+            (cycle_graph(5), path_graph(4)),
+            (complete_graph(4), complete_bipartite(2, 2).graph),
+            (cycle_graph(3), star_graph(4)),
+        ],
+    )
+    def test_deterministic_cases(self, A, B):
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        assert np.array_equal(edge_squares_product(bk).toarray(), _dense_edge_counts(bk))
+
+    @given(connected_nonbipartite_graphs(max_n=5), connected_bipartite_graphs(max_side=3))
+    @settings(max_examples=40, deadline=None)
+    def test_property(self, A, B):
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        assert np.array_equal(edge_squares_product(bk).toarray(), _dense_edge_counts(bk))
+
+    def test_pointwise_expansion(self):
+        """Thm. 5's compact point-wise version against the matrix version."""
+        A, B = cycle_graph(5), path_graph(4)
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        dia_a = edge_squares_matrix(A)
+        dia_b = edge_squares_matrix(B)
+        d_a, d_b = A.degrees(), B.degrees()
+        dense = _dense_edge_counts(bk)
+        n_b = B.n
+        ua, va = A.edge_arrays()
+        ub, vb = B.edge_arrays()
+        for i, j in zip(ua, va):
+            for k, l in zip(ub, vb):
+                p, q = i * n_b + k, j * n_b + l
+                expected = (
+                    1
+                    + (dia_a[i, j] + d_a[i] + d_a[j] - 1) * (dia_b[k, l] + d_b[k] + d_b[l] - 1)
+                    - d_a[i] * d_b[k]
+                    - d_a[j] * d_b[l]
+                )
+                assert dense[p, q] == expected
+
+    def test_paper_expanded_pointwise_is_off_by_two(self):
+        """The paper's fully expanded 10-term point-wise Thm. 5
+
+            ◇_pq = ◇_ij ◇_kl + ◇_ij(d_k+d_l−1) + (d_i+d_j−1)◇_kl
+                   + d_i d_l − d_i − d_l + d_j d_k − d_j − d_k
+
+        drops the constant ``+2`` that survives the expansion of the
+        (correct) compact form -- pinned here as an erratum: on every
+        product edge the printed expansion is exactly 2 below the true
+        count (DESIGN.md "Paper errata")."""
+        from repro.generators import complete_graph
+
+        A = complete_graph(4)
+        B = complete_bipartite(2, 3).graph
+        bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+        dia_a = edge_squares_matrix(A)
+        dia_b = edge_squares_matrix(B)
+        d_a, d_b = A.degrees(), B.degrees()
+        dense = _dense_edge_counts(bk)
+        n_b = B.n
+        ua, va = A.edge_arrays()
+        ub, vb = B.edge_arrays()
+        for i, j in zip(ua, va):
+            for k, l in zip(ub, vb):
+                p, q = i * n_b + k, j * n_b + l
+                paper_expanded = (
+                    dia_a[i, j] * dia_b[k, l]
+                    + dia_a[i, j] * (d_b[k] + d_b[l] - 1)
+                    + (d_a[i] + d_a[j] - 1) * dia_b[k, l]
+                    + d_a[i] * d_b[l] - d_a[i] - d_b[l]
+                    + d_a[j] * d_b[k] - d_a[j] - d_b[k]
+                )
+                assert dense[p, q] == paper_expanded + 2
+
+
+class TestDerivedAssumptionII:
+    """Our derived edge formula for C = (A + I) (x) B."""
+
+    @pytest.mark.parametrize(
+        "A,B",
+        [
+            (path_graph(2), path_graph(2)),
+            (path_graph(3), path_graph(4)),
+            (complete_bipartite(2, 2).graph, path_graph(3)),
+            (complete_bipartite(2, 3).graph, complete_bipartite(2, 2).graph),
+            (star_graph(3), cycle_graph(4)),
+        ],
+    )
+    def test_deterministic_cases(self, A, B):
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        assert np.array_equal(edge_squares_product(bk).toarray(), _dense_edge_counts(bk))
+
+    @given(connected_bipartite_graphs(max_side=3), connected_bipartite_graphs(max_side=3))
+    @settings(max_examples=40, deadline=None)
+    def test_property(self, A, B):
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        assert np.array_equal(edge_squares_product(bk).toarray(), _dense_edge_counts(bk))
+
+    def test_loop_block_edges_present(self):
+        """Edges from I_A (x) B exist in the product and carry counts."""
+        A, B = path_graph(3), path_graph(4)
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        dia = edge_squares_product(bk)
+        dense_ref = _dense_edge_counts(bk)
+        n_b = B.n
+        # Loop-block edge p = (i,k), q = (i,l) for i=0, B edge (0,1).
+        p, q = 0 * n_b + 0, 0 * n_b + 1
+        assert bk.materialize().has_edge(p, q)
+        assert dia[p, q] == dense_ref[p, q]
+
+
+class TestEdgeVertexConsistency:
+    @pytest.mark.parametrize("assumption", list(Assumption))
+    def test_row_sums_give_vertex_counts(self, assumption):
+        """s_C = ◇_C 1 / 2 must hold between the two product formulas."""
+        if assumption is Assumption.NON_BIPARTITE_FACTOR:
+            A, B = cycle_graph(5), path_graph(4)
+        else:
+            A, B = path_graph(4), path_graph(4)
+        bk = make_bipartite_product(A, B, assumption)
+        dia = edge_squares_product(bk)
+        s = vertex_squares_product(bk)
+        assert np.array_equal(np.asarray(dia.sum(axis=1)).ravel(), 2 * s)
+
+    def test_symmetry(self, bk_assumption_ii):
+        dia = edge_squares_product(bk_assumption_ii)
+        assert (dia - dia.T).nnz == 0

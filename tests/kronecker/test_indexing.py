@@ -1,0 +1,56 @@
+"""Tests for the product index map wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.kronecker.indexing import ProductIndexMap
+
+
+class TestProductIndexMap:
+    def test_n_product(self):
+        assert ProductIndexMap(3, 7).n_product == 21
+
+    def test_split_scalar(self):
+        idx = ProductIndexMap(4, 5)
+        i, k = idx.split(13)
+        assert (i, k) == (2, 3)
+
+    def test_fuse_scalar(self):
+        assert ProductIndexMap(4, 5).fuse(2, 3) == 13
+
+    def test_vectorised_roundtrip(self):
+        idx = ProductIndexMap(6, 9)
+        p = np.arange(54)
+        assert np.array_equal(idx.fuse(*idx.split(p)), p)
+
+    def test_split_out_of_range(self):
+        with pytest.raises(IndexError):
+            ProductIndexMap(2, 3).split(6)
+        with pytest.raises(IndexError):
+            ProductIndexMap(2, 3).split(-1)
+
+    def test_fuse_out_of_range(self):
+        with pytest.raises(IndexError):
+            ProductIndexMap(2, 3).fuse(2, 0)
+        with pytest.raises(ValueError):
+            ProductIndexMap(2, 3).fuse(0, 3)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProductIndexMap(0, 3)
+        with pytest.raises(ValueError):
+            ProductIndexMap(3, -1)
+
+    def test_matches_scipy_kron_layout(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(0)
+        A = (rng.random((3, 3)) < 0.5).astype(int)
+        B = (rng.random((4, 4)) < 0.5).astype(int)
+        C = sp.kron(sp.csr_array(A), sp.csr_array(B)).toarray()
+        idx = ProductIndexMap(3, 4)
+        for p in range(12):
+            for q in range(12):
+                i, k = idx.split(p)
+                j, l = idx.split(q)
+                assert C[p, q] == A[i, j] * B[k, l]

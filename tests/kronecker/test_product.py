@@ -1,0 +1,123 @@
+"""Tests for materialized and implicit Kronecker products."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs import Graph
+from repro.kronecker import KroneckerProduct, kron_graph, kron_power
+from repro.kronecker.indexing import ProductIndexMap
+
+
+class TestKronGraph:
+    def test_matches_scipy(self):
+        A, B = cycle_graph(3), path_graph(3)
+        C = kron_graph(A, B)
+        expected = sp.kron(A.adj, B.adj).toarray()
+        assert np.array_equal(C.to_dense(), expected)
+
+    def test_sizes(self):
+        A, B = cycle_graph(4), path_graph(5)
+        C = kron_graph(A, B)
+        assert C.n == 20
+        assert C.nnz == A.nnz * B.nnz
+
+    def test_degrees_multiply(self):
+        A, B = star_graph(3), path_graph(3)
+        C = kron_graph(A, B)
+        expected = np.kron(A.degrees(), B.degrees())
+        assert np.array_equal(C.degrees(), expected)
+
+
+class TestKronPower:
+    def test_power_one(self):
+        A = cycle_graph(4)
+        assert kron_power(A, 1) == A
+
+    def test_power_two_matches_pairwise(self):
+        A = path_graph(3)
+        assert kron_power(A, 2) == kron_graph(A, A)
+
+    def test_power_three_size(self):
+        A = path_graph(2)
+        C = kron_power(A, 3)
+        assert C.n == 8
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            kron_power(path_graph(2), 0)
+
+
+class TestProductIndexMap:
+    def test_roundtrip(self):
+        idx = ProductIndexMap(3, 5)
+        p = np.arange(15)
+        i, k = idx.split(p)
+        assert np.array_equal(idx.fuse(i, k), p)
+
+    def test_bounds(self):
+        idx = ProductIndexMap(3, 5)
+        with pytest.raises(IndexError):
+            idx.split(15)
+        with pytest.raises(IndexError):
+            idx.fuse(3, 0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ProductIndexMap(0, 5)
+
+
+class TestImplicitProduct:
+    @pytest.fixture
+    def pair(self):
+        A = complete_graph(4)
+        B = path_graph(4)
+        return KroneckerProduct(A, B), kron_graph(A, B)
+
+    def test_sizes_match_materialized(self, pair):
+        implicit, C = pair
+        assert implicit.n == C.n
+        assert implicit.m == C.m
+        assert implicit.nnz == C.nnz
+
+    def test_self_loop_count(self):
+        A = path_graph(3).with_all_self_loops()
+        B = path_graph(2).with_all_self_loops()
+        implicit = KroneckerProduct(A, B)
+        C = kron_graph(A, B)
+        assert implicit.num_self_loops == C.num_self_loops == 6
+
+    def test_loopfree_product_edge_count(self):
+        # One factor loop-free -> product loop-free (paper §II-B).
+        A = path_graph(3).with_all_self_loops()
+        B = path_graph(2)
+        implicit = KroneckerProduct(A, B)
+        assert implicit.num_self_loops == 0
+        assert implicit.m == kron_graph(A, B).m
+
+    def test_degrees_match(self, pair):
+        implicit, C = pair
+        assert np.array_equal(implicit.degrees(), C.degrees())
+
+    def test_degree_single_queries(self, pair):
+        implicit, C = pair
+        d = C.degrees()
+        for p in range(C.n):
+            assert implicit.degree(p) == d[p]
+
+    def test_has_edge_agrees(self, pair):
+        implicit, C = pair
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            p, q = rng.integers(0, C.n, 2)
+            assert implicit.has_edge(int(p), int(q)) == C.has_edge(int(p), int(q))
+
+    def test_neighbors_agree(self, pair):
+        implicit, C = pair
+        for p in range(C.n):
+            assert np.array_equal(np.sort(implicit.neighbors(p)), C.neighbors(p))
+
+    def test_materialize(self, pair):
+        implicit, C = pair
+        assert implicit.materialize() == C

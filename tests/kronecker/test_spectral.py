@@ -1,0 +1,111 @@
+"""Tests for spectral ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs import Graph, is_bipartite
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.kronecker.spectral import (
+    adjacency_spectrum,
+    bipartite_spectrum_symmetry,
+    product_spectral_radius,
+    product_spectrum,
+)
+
+from tests.strategies import connected_bipartite_graphs, connected_graphs
+
+
+class TestAdjacencySpectrum:
+    def test_complete_graph(self):
+        # K_n: eigenvalues n-1 (once) and -1 (n-1 times).
+        spec = adjacency_spectrum(complete_graph(5))
+        assert spec[0] == pytest.approx(4.0)
+        assert np.allclose(spec[1:], -1.0)
+
+    def test_star(self):
+        # K_{1,k}: ±sqrt(k), zeros in between.
+        spec = adjacency_spectrum(star_graph(4))
+        assert spec[0] == pytest.approx(2.0)
+        assert spec[-1] == pytest.approx(-2.0)
+
+    def test_cycle(self):
+        # C_n eigenvalues 2cos(2πk/n); top is always 2.
+        spec = adjacency_spectrum(cycle_graph(6))
+        assert spec[0] == pytest.approx(2.0)
+
+    def test_descending(self):
+        spec = adjacency_spectrum(complete_bipartite(2, 3).graph)
+        assert np.all(np.diff(spec) <= 1e-12)
+
+    def test_empty_graph(self):
+        assert adjacency_spectrum(Graph.empty(0)).size == 0
+
+    def test_size_guard(self):
+        big = Graph.empty(5001)
+        with pytest.raises(ValueError, match="factor-scale"):
+            adjacency_spectrum(big)
+
+
+class TestProductSpectrum:
+    @pytest.mark.parametrize(
+        "A,B,assumption",
+        [
+            (cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR),
+            (path_graph(3), path_graph(4), Assumption.SELF_LOOPS_FACTOR),
+            (complete_graph(4), complete_bipartite(2, 2).graph, Assumption.NON_BIPARTITE_FACTOR),
+        ],
+    )
+    def test_matches_direct_eigensolve(self, A, B, assumption):
+        bk = make_bipartite_product(A, B, assumption)
+        predicted = product_spectrum(bk)
+        direct = np.linalg.eigvalsh(bk.materialize().to_dense().astype(float))[::-1]
+        assert np.allclose(np.sort(predicted), np.sort(direct), atol=1e-9)
+
+    def test_spectral_radius_multiplies(self):
+        bk = make_bipartite_product(cycle_graph(5), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        spec = product_spectrum(bk)
+        assert product_spectral_radius(bk) == pytest.approx(spec[0])
+
+    def test_length(self):
+        bk = make_bipartite_product(cycle_graph(3), path_graph(5), Assumption.NON_BIPARTITE_FACTOR)
+        assert product_spectrum(bk).size == bk.n
+
+    def test_product_spectrum_symmetric_because_bipartite(self):
+        """Bipartite products must have ±-symmetric spectra, even when
+        the M factor's spectrum is not."""
+        bk = make_bipartite_product(cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        spec = product_spectrum(bk)
+        assert np.allclose(np.sort(spec), np.sort(-spec), atol=1e-9)
+
+
+class TestSpectralBipartitenessOracle:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(5), True),
+            (cycle_graph(6), True),
+            (cycle_graph(5), False),
+            (complete_graph(4), False),
+            (complete_bipartite(3, 4).graph, True),
+        ],
+    )
+    def test_known(self, graph, expected):
+        assert bipartite_spectrum_symmetry(graph) == expected
+
+    @given(connected_graphs(min_n=2, max_n=8))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_combinatorial(self, g):
+        assert bipartite_spectrum_symmetry(g) == is_bipartite(g)
+
+    @given(connected_bipartite_graphs(max_side=4))
+    @settings(max_examples=20, deadline=None)
+    def test_bipartite_always_symmetric(self, bg):
+        assert bipartite_spectrum_symmetry(bg.graph)

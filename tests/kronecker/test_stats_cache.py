@@ -1,0 +1,47 @@
+"""Tests for the FactorStats cache on BipartiteKronecker."""
+
+import numpy as np
+
+from repro.generators import cycle_graph, path_graph
+from repro.kronecker import (
+    Assumption,
+    GroundTruthOracle,
+    global_squares_product,
+    make_bipartite_product,
+    vertex_squares_product,
+)
+
+
+class TestFactorStatsCache:
+    def test_same_objects_returned(self):
+        bk = make_bipartite_product(cycle_graph(5), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        a1, b1 = bk.factor_stats()
+        a2, b2 = bk.factor_stats()
+        assert a1 is a2 and b1 is b2
+
+    def test_oracle_shares_cached_stats(self):
+        bk = make_bipartite_product(path_graph(4), path_graph(5), Assumption.SELF_LOOPS_FACTOR)
+        stats_a, stats_b = bk.factor_stats()
+        oracle = GroundTruthOracle(bk)
+        assert oracle.stats_a is stats_a
+        assert oracle.stats_b is stats_b
+
+    def test_formula_results_unchanged_by_cache(self):
+        """Cached and freshly-computed paths must agree exactly."""
+        from repro.kronecker.ground_truth import FactorStats, _vertex_squares_from_stats
+
+        bk = make_bipartite_product(cycle_graph(5), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        cached = vertex_squares_product(bk)
+        fresh = _vertex_squares_from_stats(
+            FactorStats.from_graph(bk.A), FactorStats.from_graph(bk.B.graph), bk.assumption
+        )
+        assert np.array_equal(cached, fresh)
+
+    def test_cache_is_per_handle(self):
+        bk1 = make_bipartite_product(cycle_graph(3), path_graph(3), Assumption.NON_BIPARTITE_FACTOR)
+        bk2 = make_bipartite_product(cycle_graph(3), path_graph(3), Assumption.NON_BIPARTITE_FACTOR)
+        assert bk1.factor_stats()[0] is not bk2.factor_stats()[0]
+
+    def test_repeated_global_calls_consistent(self):
+        bk = make_bipartite_product(cycle_graph(5), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        assert global_squares_product(bk) == global_squares_product(bk)

@@ -1,0 +1,141 @@
+"""Tests for the process-parallel generation and counting layer.
+
+Everything parallel must be bit-identical to its serial counterpart;
+shard layouts must be deterministic; worker exceptions must propagate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import edge_squares_matrix, global_butterflies
+from repro.generators import (
+    bipartite_chung_lu,
+    complete_bipartite,
+    cycle_graph,
+    path_graph,
+    scale_free_bipartite_factor,
+)
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.parallel import (
+    generate_shards,
+    left_entry_slices,
+    parallel_edge_count,
+    parallel_global_butterflies,
+    shard_of_product,
+)
+from repro.parallel.generate import load_shards
+
+
+@pytest.fixture
+def bk():
+    return make_bipartite_product(
+        cycle_graph(5), complete_bipartite(2, 3).graph, Assumption.NON_BIPARTITE_FACTOR
+    )
+
+
+@pytest.fixture
+def bk_ii():
+    return make_bipartite_product(
+        complete_bipartite(2, 2).graph, path_graph(5), Assumption.SELF_LOOPS_FACTOR
+    )
+
+
+class TestPartition:
+    def test_slices_cover_everything(self, bk):
+        slices = left_entry_slices(bk, 4)
+        assert slices[0][0] == 0
+        assert slices[-1][1] == bk.M.nnz
+        for (a1, b1), (a2, _) in zip(slices, slices[1:]):
+            assert b1 == a2  # contiguous, disjoint
+
+    def test_more_shards_than_entries(self, bk):
+        slices = left_entry_slices(bk, bk.M.nnz * 3)
+        assert sum(b - a for a, b in slices) == bk.M.nnz
+
+    def test_invalid_shards(self, bk):
+        with pytest.raises(ValueError):
+            left_entry_slices(bk, 0)
+
+    def test_shards_reassemble_to_product(self, bk):
+        C = bk.materialize()
+        coo = C.adj.tocoo()
+        expected = set(zip(coo.row.tolist(), coo.col.tolist()))
+        seen = []
+        for start, stop in left_entry_slices(bk, 3):
+            p, q = shard_of_product(bk, start, stop)
+            seen.extend(zip(p.tolist(), q.tolist()))
+        assert len(seen) == len(expected)  # no duplicates
+        assert set(seen) == expected
+
+    @pytest.mark.parametrize("fixture", ["bk", "bk_ii"])
+    def test_shard_ground_truth(self, fixture, request):
+        bk = request.getfixturevalue(fixture)
+        dia_ref = edge_squares_matrix(bk.materialize())
+        for start, stop in left_entry_slices(bk, 2):
+            p, q, dia = shard_of_product(bk, start, stop, attach_ground_truth=True)
+            for pp, qq, dd in zip(p.tolist(), q.tolist(), dia.tolist()):
+                assert dia_ref[pp, qq] == dd
+
+
+class TestGenerateShards:
+    def test_roundtrip_parallel(self, bk, tmp_path):
+        paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=2)
+        data = load_shards(paths)
+        C = bk.materialize()
+        coo = C.adj.tocoo()
+        got = set(zip(data["p"].tolist(), data["q"].tolist()))
+        assert got == set(zip(coo.row.tolist(), coo.col.tolist()))
+
+    def test_serial_parallel_identical(self, bk, tmp_path):
+        serial = generate_shards(bk, tmp_path / "s", n_shards=3, n_workers=1)
+        parallel = generate_shards(bk, tmp_path / "p", n_shards=3, n_workers=3)
+        for a, b in zip(serial, parallel):
+            da, db = np.load(a), np.load(b)
+            assert np.array_equal(da["p"], db["p"])
+            assert np.array_equal(da["q"], db["q"])
+
+    def test_ground_truth_shards(self, bk_ii, tmp_path):
+        paths = generate_shards(bk_ii, tmp_path, n_shards=2, n_workers=2, ground_truth=True)
+        data = load_shards(paths)
+        dia_ref = edge_squares_matrix(bk_ii.materialize())
+        for p, q, d in zip(data["p"].tolist(), data["q"].tolist(), data["squares"].tolist()):
+            assert dia_ref[p, q] == d
+
+    def test_edge_count_matches_closed_form(self, bk):
+        assert parallel_edge_count(bk, n_shards=4, n_workers=2) == bk.M.nnz * bk.B.graph.nnz
+
+    def test_edge_count_serial_path(self, bk):
+        assert parallel_edge_count(bk, n_shards=4, n_workers=1) == bk.M.nnz * bk.B.graph.nnz
+
+
+class TestParallelCounting:
+    def test_matches_serial_on_deterministic(self):
+        bg = complete_bipartite(4, 6)
+        assert parallel_global_butterflies(bg, n_blocks=3, n_workers=2) == global_butterflies(bg)
+
+    def test_matches_serial_on_random(self):
+        for seed in range(3):
+            bg = bipartite_chung_lu(np.full(25, 4.0), np.full(30, 3.0), seed=seed)
+            expected = global_butterflies(bg)
+            assert parallel_global_butterflies(bg, n_blocks=4, n_workers=2) == expected
+
+    def test_single_block(self):
+        bg = complete_bipartite(3, 3)
+        assert parallel_global_butterflies(bg, n_blocks=1) == 9
+
+    def test_more_blocks_than_rows(self):
+        bg = complete_bipartite(2, 5)
+        assert parallel_global_butterflies(bg, n_blocks=50, n_workers=2) == 10
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            parallel_global_butterflies(complete_bipartite(2, 2), n_blocks=0)
+
+    def test_scale_free_product(self):
+        A = scale_free_bipartite_factor(8, 10, 2, seed=0)
+        B = scale_free_bipartite_factor(6, 8, 2, seed=1)
+        bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+        C = bk.materialize_bipartite()
+        from repro.kronecker import global_squares_product
+
+        assert parallel_global_butterflies(C, n_blocks=4, n_workers=2) == global_squares_product(bk)

@@ -1,0 +1,149 @@
+"""Hypothesis strategies and deterministic graph corpora for the tests.
+
+The property suites need three shapes of random factor:
+
+* connected graphs (any parity),
+* connected *bipartite* loop-free graphs (Assumption 1 factor ``B``,
+  and factor ``A`` under 1(ii)),
+* connected *non-bipartite* loop-free graphs (factor ``A`` under 1(i)).
+
+Graphs are built constructively (random spanning structure + random
+extra edges) rather than by rejection, so hypothesis does not waste its
+example budget on filtered draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "connected_graphs",
+    "connected_bipartite_graphs",
+    "connected_nonbipartite_graphs",
+    "small_graph_corpus",
+    "small_bipartite_corpus",
+]
+
+
+@st.composite
+def connected_graphs(draw, min_n: int = 2, max_n: int = 8) -> Graph:
+    """A connected loop-free undirected graph on ``[min_n, max_n]``
+    vertices: random spanning tree plus random extra edges."""
+    n = draw(st.integers(min_n, max_n))
+    edges = set()
+    # Random attachment tree: vertex v attaches to a uniform earlier one.
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.add((u, v))
+    # Extra edges from the remaining pairs.
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n) if (i, j) not in edges]
+    if all_pairs:
+        extra = draw(st.lists(st.sampled_from(all_pairs), max_size=len(all_pairs)))
+        edges.update(extra)
+    return Graph.from_edges(n, sorted(edges))
+
+
+@st.composite
+def connected_bipartite_graphs(
+    draw, min_side: int = 1, max_side: int = 5
+) -> BipartiteGraph:
+    """A connected bipartite loop-free graph with parts
+    ``U = 0..nu-1`` and ``W = nu..nu+nw-1``.
+
+    Spanning structure: each new vertex (taken alternately from the two
+    parts after the first edge) attaches to a uniform existing vertex
+    of the other part; extra cross edges are then sprinkled in.
+    """
+    nu = draw(st.integers(min_side, max_side))
+    nw = draw(st.integers(min_side, max_side))
+    edges = set()
+    # Spanning tree: insert vertices one at a time, each attaching to a
+    # random *already-inserted* vertex of the other part, so every new
+    # edge genuinely extends the single component.
+    inserted_u = [0]
+    inserted_w: list[int] = []
+    pending = [("w", k) for k in range(nw)] + [("u", i) for i in range(1, nu)]
+    # Interleave deterministically (w0 first so u-attachments have a target).
+    pending.sort(key=lambda t: (t[1], t[0]))
+    for side, idx in pending:
+        if side == "w":
+            u = inserted_u[draw(st.integers(0, len(inserted_u) - 1))]
+            edges.add((u, nu + idx))
+            inserted_w.append(idx)
+        else:
+            w = inserted_w[draw(st.integers(0, len(inserted_w) - 1))]
+            edges.add((idx, nu + w))
+            inserted_u.append(idx)
+    all_pairs = [
+        (i, nu + k) for i in range(nu) for k in range(nw) if (i, nu + k) not in edges
+    ]
+    if all_pairs:
+        extra = draw(st.lists(st.sampled_from(all_pairs), max_size=len(all_pairs)))
+        edges.update(extra)
+    g = Graph.from_edges(nu + nw, sorted(edges))
+    part = np.zeros(nu + nw, dtype=bool)
+    part[nu:] = True
+    return BipartiteGraph(g, part)
+
+
+@st.composite
+def connected_nonbipartite_graphs(draw, min_n: int = 3, max_n: int = 7) -> Graph:
+    """A connected loop-free graph guaranteed to contain a triangle."""
+    g = draw(connected_graphs(min_n=max(min_n, 3), max_n=max_n))
+    edges = set()
+    u_arr, v_arr = g.edge_arrays()
+    edges.update(zip(u_arr.tolist(), v_arr.tolist()))
+    # Force the triangle 0-1-2 (adding edges keeps connectivity).
+    edges.update({(0, 1), (1, 2), (0, 2)})
+    return Graph.from_edges(g.n, sorted(edges))
+
+
+def small_graph_corpus() -> list[Graph]:
+    """Deterministic loop-free graphs covering the usual edge cases."""
+    from repro.generators.classic import (
+        balanced_tree,
+        complete_graph,
+        cycle_graph,
+        grid_graph,
+        path_graph,
+        star_graph,
+        wheel_graph,
+    )
+
+    return [
+        path_graph(1),
+        path_graph(2),
+        path_graph(5),
+        cycle_graph(3),
+        cycle_graph(4),
+        cycle_graph(6),
+        cycle_graph(7),
+        star_graph(4),
+        complete_graph(4),
+        complete_graph(5),
+        grid_graph(3, 3),
+        balanced_tree(2, 3),
+        wheel_graph(5),
+        Graph.empty(3),
+        Graph.from_edges(6, [(0, 1), (2, 3), (4, 5)]),  # disconnected matching
+    ]
+
+
+def small_bipartite_corpus() -> list[BipartiteGraph]:
+    """Deterministic bipartite graphs covering the usual edge cases."""
+    from repro.generators.classic import complete_bipartite, path_graph
+
+    return [
+        BipartiteGraph(path_graph(2)),
+        BipartiteGraph(path_graph(4)),
+        BipartiteGraph(path_graph(7)),
+        complete_bipartite(1, 3),
+        complete_bipartite(2, 3),
+        complete_bipartite(3, 3),
+        BipartiteGraph.from_biadjacency([[1, 1, 0], [0, 1, 1]]),
+        BipartiteGraph.from_biadjacency([[1, 0], [0, 1]]),  # disconnected
+    ]

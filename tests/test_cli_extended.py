@@ -1,0 +1,38 @@
+"""Tests for the design/report CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDesignCommand:
+    def test_basic(self, capsys):
+        rc = main(["design", "--vertices", "100", "--top", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "factor pairs" in out
+        assert out.count("(x)") == 3
+
+    def test_square_target(self, capsys):
+        rc = main(["design", "--squares", "1000", "--top", "2"])
+        assert rc == 0
+        assert "squares=" in capsys.readouterr().out
+
+    def test_no_targets_still_runs(self, capsys):
+        rc = main(["design", "--top", "1"])
+        assert rc == 0
+
+
+class TestReportCommand:
+    def test_small_factor_report(self, capsys):
+        rc = main(["report", "--factor", "biclique:3x4", "--bins", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for artifact in ("Fig 1", "Fig 2", "Fig 3", "Fig 4", "Table I", "Fig 5"):
+            assert artifact in out
+
+    def test_report_consistency_lines(self, capsys):
+        main(["report", "--factor", "biclique:2x3"])
+        out = capsys.readouterr().out
+        assert "all predictions consistent with BFS ground truth: True" in out
+        assert "max |error| = 0" in out

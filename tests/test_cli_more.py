@@ -1,0 +1,70 @@
+"""Additional CLI coverage: file factors, round trips, failure paths."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import read_edge_list
+
+
+class TestFileFactorWorkflow:
+    def test_generate_from_file_factor(self, tmp_path, capsys):
+        # Write a triangle as a file factor, product it with path:3.
+        factor_file = tmp_path / "triangle.txt"
+        factor_file.write_text("0 1\n1 2\n2 0\n")
+        out = tmp_path / "product.txt"
+        rc = main(["generate", f"file:{factor_file}", "path:3", "-o", str(out)])
+        assert rc == 0
+        g = read_edge_list(out)
+        assert g.m == 12  # C3 (x) P3 has 12 edges
+
+    def test_stats_on_generated_file(self, tmp_path, capsys):
+        """Full loop: generate to file, re-read as a factor, stats it."""
+        first = tmp_path / "c.txt"
+        assert main(["generate", "cycle:3", "path:3", "-o", str(first)]) == 0
+        capsys.readouterr()
+        # The generated product is bipartite -> usable as assumption-ii A.
+        rc = main(
+            ["stats", f"file:{first}", "path:2", "--assumption", "ii",
+             "--allow-disconnected", "--check"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+
+
+class TestFailurePaths:
+    def test_unknown_factor_spec_exit_code(self, capsys):
+        # Factor specs are parsed at command run time, so the error is
+        # reported as exit code 2 rather than an argparse SystemExit.
+        rc = main(["stats", "nope:3", "path:4"])
+        assert rc == 2
+        assert "unknown factor spec" in capsys.readouterr().err
+
+    def test_nonbipartite_B_rejected(self, capsys):
+        rc = main(["stats", "complete:4", "cycle:5"])
+        assert rc == 2
+        assert "bipartite" in capsys.readouterr().err
+
+    def test_disconnected_factor_without_flag(self, capsys):
+        rc = main(["stats", "cycle:3", "konect-unicode"])
+        assert rc == 2
+        assert "connected" in capsys.readouterr().err
+
+    def test_disconnected_diameter_reported(self, capsys):
+        rc = main(
+            ["stats", "cycle:3", "konect-unicode", "--allow-disconnected", "--diameter"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "undefined" in out
+
+
+class TestKonectFactorStats:
+    def test_unicode_scale_stats(self, capsys):
+        rc = main(["stats", "konect-unicode", "konect-unicode",
+                   "--assumption", "ii", "--allow-disconnected"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "753,424 vertices" in out
+        assert "global 4-cycles : 476,456,541" in out

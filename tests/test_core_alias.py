@@ -1,0 +1,18 @@
+"""The ``repro.core`` alias must track ``repro.kronecker`` exactly."""
+
+import repro.core
+import repro.kronecker
+
+
+def test_alias_exports_everything():
+    assert set(repro.core.__all__) == set(repro.kronecker.__all__)
+    for name in repro.kronecker.__all__:
+        assert getattr(repro.core, name) is getattr(repro.kronecker, name)
+
+
+def test_alias_is_usable():
+    from repro.core import Assumption, make_bipartite_product
+    from repro.generators import cycle_graph, path_graph
+
+    bk = make_bipartite_product(cycle_graph(3), path_graph(3), Assumption.NON_BIPARTITE_FACTOR)
+    assert bk.n == 9

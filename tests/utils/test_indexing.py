@@ -1,0 +1,89 @@
+"""Tests for the Kronecker block index maps (paper Def. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.indexing import (
+    block_index,
+    intra_index,
+    pair_index,
+    pair_to_product,
+    product_to_pair,
+)
+
+
+class TestScalarMaps:
+    def test_block_index_basic(self):
+        assert block_index(0, 4) == 0
+        assert block_index(3, 4) == 0
+        assert block_index(4, 4) == 1
+        assert block_index(11, 4) == 2
+
+    def test_intra_index_basic(self):
+        assert intra_index(0, 4) == 0
+        assert intra_index(3, 4) == 3
+        assert intra_index(4, 4) == 0
+        assert intra_index(11, 4) == 3
+
+    def test_pair_index_basic(self):
+        assert pair_index(0, 0, 4) == 0
+        assert pair_index(1, 0, 4) == 4
+        assert pair_index(2, 3, 4) == 11
+
+    def test_pair_index_rejects_out_of_block(self):
+        with pytest.raises(ValueError):
+            pair_index(1, 4, 4)
+        with pytest.raises(ValueError):
+            pair_index(1, -1, 4)
+
+    @pytest.mark.parametrize("fn", [block_index, intra_index])
+    def test_nonpositive_block_size_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(3, 0)
+        with pytest.raises(ValueError):
+            fn(3, -2)
+
+
+class TestVectorisedMaps:
+    def test_arrays_roundtrip(self):
+        p = np.arange(24)
+        i, k = product_to_pair(p, 6)
+        assert np.array_equal(pair_index(i, k, 6), p)
+
+    def test_product_to_pair_matches_scalar_maps(self):
+        p = np.array([0, 5, 6, 23])
+        i, k = product_to_pair(p, 6)
+        assert np.array_equal(i, block_index(p, 6))
+        assert np.array_equal(k, intra_index(p, 6))
+
+    def test_pair_to_product_shape_checks(self):
+        with pytest.raises(ValueError):
+            pair_to_product(np.array([1, 2, 3]), 4)
+
+    def test_pair_to_product(self):
+        pairs = np.array([[0, 0], [1, 2], [3, 3]])
+        assert np.array_equal(pair_to_product(pairs, 4), np.array([0, 6, 15]))
+
+
+class TestKroneckerOrderingContract:
+    """The maps must match numpy/scipy kron entry placement."""
+
+    def test_matches_numpy_kron(self):
+        rng = np.random.default_rng(0)
+        A = rng.integers(0, 3, size=(3, 3))
+        B = rng.integers(0, 3, size=(4, 4))
+        C = np.kron(A, B)
+        for p in range(12):
+            for q in range(12):
+                i, k = product_to_pair(np.array(p), 4)
+                j, l = product_to_pair(np.array(q), 4)
+                assert C[p, q] == A[i, j] * B[k, l]
+
+
+@given(st.integers(0, 10**9), st.integers(1, 10**6))
+def test_roundtrip_property(p, n):
+    i, k = product_to_pair(p, n)
+    assert 0 <= k < n
+    assert pair_index(i, k, n) == p

@@ -1,0 +1,61 @@
+"""Tests for RNG plumbing: determinism and independence guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        gen = as_generator(None)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_passthrough_advances_shared_stream(self):
+        gen = np.random.default_rng(0)
+        first = as_generator(gen).random()
+        second = as_generator(gen).random()
+        assert first != second
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(7, 4)
+        assert len(gens) == 4
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_children_deterministic(self):
+        a = [g.random() for g in spawn_generators(7, 3)]
+        b = [g.random() for g in spawn_generators(7, 3)]
+        assert a == b
+
+    def test_children_mutually_distinct(self):
+        values = [g.random() for g in spawn_generators(7, 5)]
+        assert len(set(values)) == 5
+
+    def test_zero_children(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        gens = spawn_generators(gen, 2)
+        assert len(gens) == 2
+        assert gens[0].random() != gens[1].random()

