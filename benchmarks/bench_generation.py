@@ -5,6 +5,9 @@ block-by-block in factor-sized memory, optionally with per-edge ground
 truth attached during generation.  Times both against scipy's
 materializing ``kron`` at unicode scale (~8.7M directed entries).
 
+Results go into ``BENCH_generation.json`` via ``record_bench``; CI's
+smoke job validates that record under ``REPRO_BENCH_QUICK=1``.
+
 Run standalone: ``python benchmarks/bench_generation.py``
 """
 
@@ -12,16 +15,21 @@ from repro.experiments import generation_throughput
 from repro.kronecker import stream_edges
 
 
-def test_generation_throughput(benchmark, unicode_product):
+def test_generation_throughput(benchmark, unicode_product, record_bench):
     result = benchmark.pedantic(
         generation_throughput, args=(unicode_product,), rounds=1, iterations=1
     )
-    print()
-    print(result.format())
+    record_bench(
+        f"streamed {result.directed_entries:,} directed entries in "
+        f"{result.t_stream:.4f} s (materialize: {result.t_materialize:.4f} s)",
+        directed_entries=result.directed_entries,
+        stream_seconds=result.t_stream,
+        materialize_seconds=result.t_materialize,
+    )
     assert result.directed_entries == unicode_product.implicit.nnz
 
 
-def test_stream_with_ground_truth_attached(benchmark, unicode_product):
+def test_stream_with_ground_truth_attached(benchmark, unicode_product, record_bench):
     def run():
         entries = 0
         blocks = 0
@@ -33,7 +41,10 @@ def test_stream_with_ground_truth_attached(benchmark, unicode_product):
         return entries
 
     entries = benchmark.pedantic(run, rounds=1, iterations=1)
-    print(f"\nstreamed {entries:,} directed entries with exact per-edge 4-cycle counts attached")
+    record_bench(
+        f"streamed {entries:,} directed entries with exact per-edge 4-cycle counts attached",
+        entries_with_ground_truth=entries,
+    )
     assert entries > 0
 
 

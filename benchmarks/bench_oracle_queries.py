@@ -24,7 +24,7 @@ def _small_product():
     return make_bipartite_product(f, f, Assumption.SELF_LOOPS_FACTOR)
 
 
-def test_vertex_query_latency(benchmark, unicode_product):
+def test_vertex_query_latency(benchmark, unicode_product, record_bench):
     oracle = GroundTruthOracle(unicode_product)
     rng = np.random.default_rng(0)
     vertices = rng.integers(0, unicode_product.n, 1000).tolist()
@@ -33,12 +33,15 @@ def test_vertex_query_latency(benchmark, unicode_product):
         return sum(oracle.squares_at_vertex(p) for p in vertices)
 
     total = benchmark(run)
-    print(f"\n1000 vertex queries on a {unicode_product.n:,}-vertex product "
-          f"(Σ sampled counts = {total:,})")
+    record_bench(
+        f"1000 vertex queries on a {unicode_product.n:,}-vertex product "
+        f"(Σ sampled counts = {total:,})",
+        n_vertices=unicode_product.n,
+    )
     assert total >= 0
 
 
-def test_edge_query_latency(benchmark, unicode_product):
+def test_edge_query_latency(benchmark, unicode_product, record_bench):
     oracle = GroundTruthOracle(unicode_product)
     p, q, expected = sample_edges(unicode_product, 1000, seed=1, oracle=oracle)
     pairs = list(zip(p.tolist(), q.tolist()))
@@ -47,11 +50,14 @@ def test_edge_query_latency(benchmark, unicode_product):
         return sum(oracle.squares_at_edge(a, b) for a, b in pairs)
 
     total = benchmark(run)
-    print(f"\n1000 edge queries on a {unicode_product.m:,}-edge product")
+    record_bench(
+        f"1000 edge queries on a {unicode_product.m:,}-edge product",
+        n_edges=unicode_product.m,
+    )
     assert total == int(expected.sum())
 
 
-def test_latency_independent_of_product_size(benchmark, unicode_product):
+def test_latency_independent_of_product_size(benchmark, unicode_product, record_bench):
     """The §I size-independence claim, asserted directly."""
     big = GroundTruthOracle(unicode_product)
     small_bk = _small_product()
@@ -70,7 +76,10 @@ def test_latency_independent_of_product_size(benchmark, unicode_product):
         return t_big.elapsed / max(t_small.elapsed, 1e-9)
 
     ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
-    print(f"\nper-query time ratio (753k-vertex vs {small_bk.n}-vertex product): {ratio:.2f}x")
+    record_bench(
+        f"per-query time ratio (big vs {small_bk.n}-vertex product): {ratio:.2f}x",
+        ratio=ratio,
+    )
     # Size-independent up to noise: well under the ~3000x size ratio.
     assert ratio < 5.0
 

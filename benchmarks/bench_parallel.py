@@ -29,17 +29,20 @@ def _bipartite_graph():
     return bipartite_chung_lu(np.full(900, 14.0), np.full(1100, 11.0), seed=4)
 
 
-def test_parallel_edge_count(benchmark):
+def test_parallel_edge_count(benchmark, record_bench):
     bk = _product()
     expected = bk.M.nnz * bk.B.graph.nnz
     total = benchmark.pedantic(
         parallel_edge_count, args=(bk,), kwargs={"n_shards": 8, "n_workers": 4}, rounds=1, iterations=1
     )
-    print(f"\nparallel edge count: {total:,} directed entries (closed form: {expected:,})")
+    record_bench(
+        f"parallel edge count: {total:,} directed entries (closed form: {expected:,})",
+        directed_entries=total,
+    )
     assert total == expected
 
 
-def test_parallel_butterfly_count(benchmark):
+def test_parallel_butterfly_count(benchmark, record_bench):
     bg = _bipartite_graph()
     serial = global_butterflies(bg)
     parallel = benchmark.pedantic(
@@ -49,7 +52,10 @@ def test_parallel_butterfly_count(benchmark):
         rounds=1,
         iterations=1,
     )
-    print(f"\nbutterflies: parallel {parallel:,} == serial {serial:,}")
+    record_bench(
+        f"butterflies: parallel {parallel:,} == serial {serial:,}",
+        butterflies=parallel,
+    )
     assert parallel == serial
 
 

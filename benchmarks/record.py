@@ -1,0 +1,62 @@
+"""Persist benchmark results as diffable ``BENCH_<name>.json`` records.
+
+Every bench module (``bench_generation.py`` → record name
+``generation``) gets one run record per pytest session, built on the
+:mod:`repro.obs.record` schema with a ``benches`` list holding one row
+per benchmark function::
+
+    {"schema_version": 1, "run_id": ..., "git_rev": ..., "env": {...},
+     "spans": [], "metrics": {...},
+     "benches": [{"bench": "test_generation_throughput",
+                  "summary": "8,742,316 directed entries in 0.012 s",
+                  ...numbers...}]}
+
+Rows are added through the ``record_bench`` fixture
+(``benchmarks/conftest.py``); the recorder flushes at session end, so
+results survive without ``-s`` and the perf trajectory can be diffed
+across PRs.  Records land in the repository root next to ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.obs import build_run_record, write_run_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["BenchRecorder", "REPO_ROOT"]
+
+
+class BenchRecorder:
+    """Accumulates per-bench rows and flushes one record per module."""
+
+    def __init__(self, out_dir: Path | str = REPO_ROOT):
+        self.out_dir = Path(out_dir)
+        self._rows: dict[str, list[dict[str, Any]]] = {}
+
+    def add(self, record_name: str, bench: str, summary: str, **fields: Any) -> dict[str, Any]:
+        """Add one bench row; ``summary`` is the one-line human result."""
+        row = {"bench": bench, "summary": summary, **fields}
+        self._rows.setdefault(record_name, []).append(row)
+        return row
+
+    def flush(self) -> list[Path]:
+        """Write ``BENCH_<name>.json`` for every module that recorded."""
+        paths = []
+        for record_name, rows in sorted(self._rows.items()):
+            record = build_run_record(
+                f"bench {record_name}",
+                extra={"benches": rows},
+            )
+            paths.append(write_run_record(record, self.out_dir / f"BENCH_{record_name}.json"))
+        return paths
+
+    def summaries(self) -> list[str]:
+        """One formatted line per recorded bench (for the terminal report)."""
+        lines = []
+        for record_name, rows in sorted(self._rows.items()):
+            for row in rows:
+                lines.append(f"{record_name}::{row['bench']}: {row['summary']}")
+        return lines

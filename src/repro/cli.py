@@ -51,6 +51,7 @@ from repro.kronecker import (
 )
 from repro.kronecker.degrees import product_degree_summary
 from repro.kronecker.distances import product_diameter
+from repro.obs import build_run_record, get_metrics, get_tracer, instrument, render_run_record, write_run_record
 
 __all__ = ["main", "parse_factor"]
 
@@ -72,9 +73,17 @@ def parse_factor(spec: str):
         if name == "complete":
             return complete_graph(int(rest))
         if name == "biclique":
+            if "x" not in rest:
+                raise argparse.ArgumentTypeError(
+                    f"malformed factor spec {spec!r}: expected biclique:MxN (e.g. biclique:3x4)"
+                )
             m, n = rest.split("x")
             return complete_bipartite(int(m), int(n))
         if name == "grid":
+            if "x" not in rest:
+                raise argparse.ArgumentTypeError(
+                    f"malformed factor spec {spec!r}: expected grid:RxC (e.g. grid:2x3)"
+                )
             r, c = rest.split("x")
             return grid_graph(int(r), int(c))
         if name == "pa":
@@ -113,25 +122,42 @@ def _add_product_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the factor-connectivity check (formulas hold regardless)",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace spans + metrics and print the run summary to stderr",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the machine-readable JSON run record to PATH",
+    )
 
 
 def _cmd_generate(args) -> int:
-    bk = _build_product(args)
+    tracer = get_tracer()
+    with tracer.span("generate.build_product"):
+        bk = _build_product(args)
+    edges_written = get_metrics().counter("generate.edges_written_total")
     out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
     try:
-        out.write(f"# repro kronecker product: n={bk.n} m={bk.m}\n")
-        if args.ground_truth:
-            out.write("# columns: u v squares_at_edge\n")
-            for p, q, dia in stream_edges(bk, attach_ground_truth=True):
-                keep = p <= q
-                for u, v, d in zip(p[keep].tolist(), q[keep].tolist(), np.asarray(dia)[keep].tolist()):
-                    out.write(f"{u} {v} {d}\n")
-        else:
-            out.write("# columns: u v\n")
-            for p, q in stream_edges(bk):
-                keep = p <= q
-                for u, v in zip(p[keep].tolist(), q[keep].tolist()):
-                    out.write(f"{u} {v}\n")
+        with tracer.span("generate.write_edges", ground_truth=bool(args.ground_truth)) as sp:
+            out.write(f"# repro kronecker product: n={bk.n} m={bk.m}\n")
+            if args.ground_truth:
+                out.write("# columns: u v squares_at_edge\n")
+                for p, q, dia in stream_edges(bk, attach_ground_truth=True):
+                    keep = p <= q
+                    for u, v, d in zip(p[keep].tolist(), q[keep].tolist(), np.asarray(dia)[keep].tolist()):
+                        out.write(f"{u} {v} {d}\n")
+                    edges_written.inc(int(keep.sum()))
+            else:
+                out.write("# columns: u v\n")
+                for p, q in stream_edges(bk):
+                    keep = p <= q
+                    for u, v in zip(p[keep].tolist(), q[keep].tolist()):
+                        out.write(f"{u} {v}\n")
+                    edges_written.inc(int(keep.sum()))
+            sp.set(n=bk.n, m=bk.m)
     finally:
         if out is not sys.stdout:
             out.close()
@@ -140,21 +166,33 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    bk = _build_product(args)
+    tracer = get_tracer()
+    with tracer.span("stats.build_product"):
+        bk = _build_product(args)
+    gauges = get_metrics()
+    gauges.gauge("stats.product_vertices").set(bk.n)
+    gauges.gauge("stats.product_edges").set(bk.m)
     print(f"product         : {bk.n:,} vertices, {bk.m:,} undirected edges")
     print(f"parts           : |U_C| = {bk.U.size:,}, |W_C| = {bk.W.size:,}")
-    total = global_squares_product(bk)
+    with tracer.span("stats.global_squares") as sp:
+        total = global_squares_product(bk)
+        sp.set(squares=total)
+    gauges.gauge("stats.global_squares").set(total)
     print(f"global 4-cycles : {total:,}")
-    print(f"degrees         : {product_degree_summary(bk).format()}")
+    with tracer.span("stats.degree_summary"):
+        summary = product_degree_summary(bk).format()
+    print(f"degrees         : {summary}")
     if args.diameter:
-        try:
-            print(f"diameter        : {product_diameter(bk)}")
-        except ValueError:
-            print("diameter        : undefined (product disconnected)")
+        with tracer.span("stats.diameter"):
+            try:
+                print(f"diameter        : {product_diameter(bk)}")
+            except ValueError:
+                print("diameter        : undefined (product disconnected)")
     if args.check:
         from repro.analytics import global_squares
 
-        direct = global_squares(bk.materialize())
+        with tracer.span("stats.direct_check"):
+            direct = global_squares(bk.materialize())
         status = "OK" if direct == total else f"MISMATCH (direct {direct:,})"
         print(f"direct check    : {status}")
         if direct != total:  # pragma: no cover - formulas are proven
@@ -272,13 +310,62 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_instrumented(args) -> int:
+    """Run one command under a scoped tracer/registry and export the run.
+
+    ``--profile`` prints the human span/metric tree to stderr;
+    ``--metrics-out PATH`` writes the JSON run record.  The record is
+    written even when the command fails (status is in the root span).
+    """
+    with instrument() as (tracer, metrics):
+        root = tracer.span(f"cli.{args.command}")
+        try:
+            with root:
+                rc = args.fn(args)
+        except (ValueError, OSError, argparse.ArgumentTypeError) as exc:
+            _print_error(exc)
+            rc = 2
+        record = build_run_record(
+            f"repro {args.command}",
+            tracer=tracer,
+            metrics=metrics,
+            config={
+                k: v for k, v in vars(args).items() if k != "fn" and v is not None
+            },
+            extra={"exit_code": rc},
+        )
+    if args.profile:
+        render_run_record(record, file=sys.stderr)
+    if args.metrics_out:
+        write_run_record(record, args.metrics_out)
+        print(f"wrote run record to {args.metrics_out}", file=sys.stderr)
+    return rc
+
+
+def _print_error(exc) -> None:
+    print(f"error: {exc}", file=sys.stderr)
+    print(
+        "usage: python -m repro <command> --help  (factor specs: path:N, cycle:N, "
+        "star:K, complete:N, biclique:MxN, grid:RxC, pa:N:M[:SEED], konect-unicode, "
+        "file:PATH)",
+        file=sys.stderr,
+    )
+
+
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``python -m repro`` wraps this in ``sys.exit``, so error paths
+    (malformed factor specs included) surface as a clean
+    ``SystemExit(2)`` with a usage message — never a raw traceback.
+    """
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False) or getattr(args, "metrics_out", None):
+        return _run_instrumented(args)
     try:
         return args.fn(args)
-    except (ValueError, argparse.ArgumentTypeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (ValueError, OSError, argparse.ArgumentTypeError) as exc:
+        _print_error(exc)
         return 2
 
 

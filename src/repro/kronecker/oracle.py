@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.kronecker.assumptions import Assumption, BipartiteKronecker
 from repro.kronecker.ground_truth import FactorStats, _vertex_terms
+from repro.obs import get_metrics, get_tracer
 
 __all__ = ["GroundTruthOracle"]
 
@@ -35,12 +36,17 @@ class GroundTruthOracle:
 
     def __init__(self, bk: BipartiteKronecker):
         self.bk = bk
-        self.stats_a, self.stats_b = bk.factor_stats()
-        self.n_b = bk.B.graph.n
-        self._terms = _vertex_terms(self.stats_a, self.stats_b, bk.assumption)
-        self._with_loops = bk.assumption is Assumption.SELF_LOOPS_FACTOR
-        # Effective left-factor degree (d_A or d_A + 1).
-        self._d_m = self.stats_a.d + (1 if self._with_loops else 0)
+        with get_tracer().span("oracle.setup", n=bk.n, m=bk.m) as sp:
+            self.stats_a, self.stats_b = bk.factor_stats()
+            self.n_b = bk.B.graph.n
+            self._terms = _vertex_terms(self.stats_a, self.stats_b, bk.assumption)
+            self._with_loops = bk.assumption is Assumption.SELF_LOOPS_FACTOR
+            # Effective left-factor degree (d_A or d_A + 1).
+            self._d_m = self.stats_a.d + (1 if self._with_loops else 0)
+            sp.set(stored_entries=self.memory_footprint_entries())
+        # Bound once at setup: a no-op counter unless obs is enabled
+        # when the oracle is built, so queries stay allocation-free.
+        self._queries = get_metrics().counter("oracle_queries_total")
 
     # ------------------------------------------------------------------
     # Index plumbing
@@ -58,11 +64,13 @@ class GroundTruthOracle:
 
     def degree(self, p: int) -> int:
         """Degree of product vertex ``p``: ``d_M(i) * d_B(k)``."""
+        self._queries.inc()
         i, k = self.split(p)
         return int(self._d_m[i] * self.stats_b.d[k])
 
     def squares_at_vertex(self, p: int) -> int:
         """Ground-truth ``s_C(p)`` (Thm. 3 / sign-corrected Thm. 4)."""
+        self._queries.inc()
         i, k = self.split(p)
         acc = 0
         for sign, left, right in self._terms:
@@ -89,6 +97,7 @@ class GroundTruthOracle:
 
     def has_edge(self, p: int, q: int) -> bool:
         """Whether ``(p, q)`` is an edge of the product."""
+        self._queries.inc()
         i, k = self.split(p)
         j, l = self.split(q)
         b_edge, _ = self._factor_edge_stats(self.stats_b, k, l)
@@ -119,6 +128,7 @@ class GroundTruthOracle:
 
         Raises ``ValueError`` when ``(p, q)`` is not a product edge.
         """
+        self._queries.inc()
         i, k = self.split(p)
         j, l = self.split(q)
         b_edge, dia_b = self._factor_edge_stats(self.stats_b, k, l)
@@ -147,6 +157,7 @@ class GroundTruthOracle:
         Raises on non-edges and on edges with an endpoint of degree 1
         (outside Def. 10's domain).
         """
+        self._queries.inc()
         dia = self.squares_at_edge(p, q)
         dp, dq = self.degree(p), self.degree(q)
         if dp < 2 or dq < 2:
@@ -159,6 +170,7 @@ class GroundTruthOracle:
 
     def global_squares(self) -> int:
         """Total 4-cycles of the product (sublinear)."""
+        self._queries.inc()
         acc = 0
         for sign, left, right in self._terms:
             acc += sign * int(left.sum()) * int(right.sum())

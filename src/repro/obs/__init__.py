@@ -1,0 +1,75 @@
+"""Structured observability: spans, metrics, machine-readable run records.
+
+The measurement layer the ROADMAP's scaling work hangs off.  Three
+pieces, one switch:
+
+* :mod:`repro.obs.span` — nested, named, thread-safe :class:`Span`
+  timing (subsumes the old ``repro.utils.timing.Timer``, which is now a
+  thin alias) collected into trees by a :class:`Tracer`.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters / gauges / histograms with snapshot-merge hooks for
+  ``ProcessPoolExecutor`` workers.
+* :mod:`repro.obs.record` — exporters: a human console tree and a
+  JSON *run record* (run id, git rev, config, env, spans, metrics)
+  that the benchmark harness persists as ``BENCH_<name>.json``.
+
+Instrumentation is **off by default**: :func:`get_tracer` /
+:func:`get_metrics` return null implementations whose methods are
+no-ops, so the instrumented hot paths (streaming, oracle, parallel)
+cost nothing extra in correctness runs.  Turn it on with the scoped
+:func:`instrument` context manager (what the CLI's ``--profile`` /
+``--metrics-out`` flags do) or process-wide :func:`enable`.
+
+Naming conventions and the record schema live in docs/observability.md.
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+)
+from repro.obs.record import (
+    SCHEMA_VERSION,
+    build_run_record,
+    collect_env,
+    git_revision,
+    load_run_record,
+    render_run_record,
+    validate_run_record,
+    write_run_record,
+)
+from repro.obs.runtime import disable, enable, get_metrics, get_tracer, instrument, is_enabled
+from repro.obs.span import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "merge_snapshots",
+    "SCHEMA_VERSION",
+    "build_run_record",
+    "collect_env",
+    "git_revision",
+    "load_run_record",
+    "render_run_record",
+    "validate_run_record",
+    "write_run_record",
+    "get_tracer",
+    "get_metrics",
+    "instrument",
+    "enable",
+    "disable",
+    "is_enabled",
+]

@@ -1,0 +1,12 @@
+"""``python -m repro.obs FILE...`` — validate run-record files.
+
+Prefer this entry over ``python -m repro.obs.record`` (which works but
+triggers runpy's found-in-sys.modules warning, since the package
+__init__ imports the submodule).
+"""
+
+import sys
+
+from repro.obs.record import _validator_main
+
+sys.exit(_validator_main())

@@ -1,0 +1,248 @@
+"""Process-wide metrics: counters, gauges, histograms, worker merging.
+
+The registry is the numeric side of the observability layer (spans are
+the temporal side).  Naming convention (docs/observability.md):
+``<area>.<noun>_<unit>`` with plain totals left unprefixed when they
+are the headline number of the run (``edges_streamed_total``).
+
+``ProcessPoolExecutor`` paths cannot share a registry across process
+boundaries, so workers build a *local* :class:`MetricsRegistry`, return
+``registry.snapshot()`` next to their payload, and the parent folds the
+snapshots in with :meth:`MetricsRegistry.merge_snapshot` (counters add,
+gauges last-write-wins, histograms pool their moments).  See
+:mod:`repro.parallel.count` for the pattern in use.
+
+Disabled instrumentation uses :data:`NULL_REGISTRY`: ``counter()`` /
+``gauge()`` / ``histogram()`` hand back a shared no-op metric, so hot
+paths pay one method call and no allocation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "merge_snapshots",
+]
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """Last-written value metric (e.g. a size or a configuration knob)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | int | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float | int) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Streaming summary of observations: count / sum / min / max / mean.
+
+    Deliberately bucket-free — the run record wants the moments, and
+    pooled moments merge exactly across workers (bucket boundaries
+    would not survive ad-hoc merging).
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            if not self.count:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.sum / self.count,
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named metrics; snapshot/merge for export.
+
+    Thread-safe: creation is guarded by a registry lock, updates by
+    per-metric locks.  Asking twice for the same name returns the same
+    object; asking for a name already registered as a different kind
+    raises ``TypeError`` (metric names are a schema, not a namespace).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _get_or_create(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}, "
+                    f"not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    # -- export / aggregation -------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict state: the run record's ``metrics`` section."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, Any] = {}
+        histograms: dict[str, dict[str, float]] = {}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for m in metrics:
+            if isinstance(m, Counter):
+                counters[m.name] = m.value
+            elif isinstance(m, Gauge):
+                gauges[m.name] = m.value
+            else:
+                histograms[m.name] = m.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold a worker snapshot into this registry.
+
+        Counters add, gauges take the incoming value, histograms pool
+        count/sum/min/max — exactly the reductions that make per-worker
+        measurement order-independent.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, s in snap.get("histograms", {}).items():
+            h = self.histogram(name)
+            if not s.get("count"):
+                continue
+            with h._lock:
+                h.count += s["count"]
+                h.sum += s["sum"]
+                h.min = min(h.min, s["min"])
+                h.max = max(h.max, s["max"])
+
+
+class _NullMetric:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        return None
+
+    def set(self, value: float | int) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def summary(self) -> dict[str, float]:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+class NullRegistry:
+    """Disabled registry: every metric is the shared no-op metric."""
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        return None
+
+
+_NULL_METRIC = _NullMetric()
+NULL_REGISTRY = NullRegistry()
+
+
+def merge_snapshots(snaps: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Reduce worker snapshots into one snapshot (fresh registry)."""
+    reg = MetricsRegistry()
+    for snap in snaps:
+        reg.merge_snapshot(snap)
+    return reg.snapshot()

@@ -1,0 +1,242 @@
+"""Machine-readable run records and the human console tree.
+
+A *run record* is one JSON document describing one instrumented run —
+the artifact the benchmark harness writes as ``BENCH_<name>.json`` and
+the CLI writes for ``--metrics-out``.  Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "run_id":    "<12 hex chars>",
+      "name":      "<what ran>",
+      "created_at": "<ISO-8601 UTC>",
+      "git_rev":   "<commit sha or null>",
+      "config":    {...},            # caller-supplied (argv, factors, ...)
+      "env":       {python, platform, numpy, scipy, cpu_count},
+      "spans":     [<span dict>...], # nested: name/elapsed_s/status/...
+      "metrics":   {counters: {...}, gauges: {...}, histograms: {...}},
+    }
+
+Records are diffable across PRs: everything except ``run_id`` /
+``created_at`` / elapsed numbers is stable for a given commit and
+config.  :func:`validate_run_record` is the schema's executable half —
+CI runs it against the benchmark output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import uuid
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "collect_env",
+    "git_revision",
+    "build_run_record",
+    "write_run_record",
+    "load_run_record",
+    "validate_run_record",
+    "render_run_record",
+]
+
+SCHEMA_VERSION = 1
+
+
+def collect_env() -> dict[str, Any]:
+    """Versions and hardware facts worth pinning next to timings."""
+    env: dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    for mod in ("numpy", "scipy"):
+        try:
+            env[mod] = __import__(mod).__version__
+        except Exception:  # pragma: no cover - baked into the image
+            env[mod] = None
+    return env
+
+
+def git_revision(cwd: str | os.PathLike | None = None) -> str | None:
+    """Current commit sha, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def build_run_record(
+    name: str,
+    tracer=None,
+    metrics=None,
+    config: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a schema-1 run record from live instrumentation state.
+
+    ``tracer`` / ``metrics`` default to the process-wide pair; pass the
+    objects explicitly when using scoped :func:`repro.obs.instrument`.
+    ``extra`` keys are merged at the top level (the benchmark harness
+    uses this for its per-bench result rows).
+    """
+    from repro.obs.runtime import get_metrics, get_tracer
+
+    tracer = get_tracer() if tracer is None else tracer
+    metrics = get_metrics() if metrics is None else metrics
+    record: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "run_id": uuid.uuid4().hex[:12],
+        "name": name,
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": git_revision(),
+        "config": dict(config or {}),
+        "env": collect_env(),
+        "spans": tracer.to_dicts(),
+        "metrics": metrics.snapshot(),
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def write_run_record(record: dict[str, Any], path: str | os.PathLike) -> Path:
+    """Write a record as pretty JSON (+ trailing newline for diffs)."""
+    problems = validate_run_record(record)
+    if problems:
+        raise ValueError(f"refusing to write invalid run record: {problems}")
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return path
+
+
+def load_run_record(path: str | os.PathLike) -> dict[str, Any]:
+    """Read and validate a run record; raises ``ValueError`` on schema drift."""
+    record = json.loads(Path(path).read_text(encoding="utf-8"))
+    problems = validate_run_record(record)
+    if problems:
+        raise ValueError(f"{path}: invalid run record: {problems}")
+    return record
+
+
+def _check_span(span: Any, problems: list[str], where: str) -> None:
+    if not isinstance(span, dict):
+        problems.append(f"{where}: span is not an object")
+        return
+    if not isinstance(span.get("name"), str):
+        problems.append(f"{where}: span missing string 'name'")
+    if not isinstance(span.get("elapsed_s"), (int, float)):
+        problems.append(f"{where}: span missing numeric 'elapsed_s'")
+    for i, child in enumerate(span.get("children", [])):
+        _check_span(child, problems, f"{where}.children[{i}]")
+
+
+def validate_run_record(record: Any) -> list[str]:
+    """Return a list of schema problems (empty == valid)."""
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    if record.get("schema_version") != SCHEMA_VERSION:
+        problems.append(f"schema_version != {SCHEMA_VERSION}")
+    for key, typ in (
+        ("run_id", str),
+        ("name", str),
+        ("created_at", str),
+        ("config", dict),
+        ("env", dict),
+        ("spans", list),
+        ("metrics", dict),
+    ):
+        if not isinstance(record.get(key), typ):
+            problems.append(f"missing or mistyped field {key!r} (want {typ.__name__})")
+    if isinstance(record.get("spans"), list):
+        for i, span in enumerate(record["spans"]):
+            _check_span(span, problems, f"spans[{i}]")
+    if isinstance(record.get("metrics"), dict):
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(record["metrics"].get(section), dict):
+                problems.append(f"metrics missing section {section!r}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Console rendering
+# ----------------------------------------------------------------------
+
+
+def _render_span(span: dict[str, Any], depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    mark = "" if span.get("status", "ok") == "ok" else "  [ERROR]"
+    lines.append(f"{pad}{span['name']:<{max(1, 34 - 2 * depth)}} {span['elapsed_s']*1e3:10.3f} ms{mark}")
+    extras = {**span.get("attrs", {}), **span.get("counters", {})}
+    if extras:
+        rendered = ", ".join(f"{k}={v}" for k, v in extras.items())
+        lines.append(f"{pad}  · {rendered}")
+    for child in span.get("children", []):
+        _render_span(child, depth + 1, lines)
+
+
+def render_run_record(record: dict[str, Any], file=None) -> str:
+    """Human console tree: spans first, then the metric tables.
+
+    Returns the rendered string; also prints it to ``file`` if given
+    (the CLI passes ``sys.stderr`` for ``--profile``).
+    """
+    lines = [f"== run {record['run_id']} · {record['name']} =="]
+    if record.get("git_rev"):
+        lines.append(f"git {record['git_rev'][:12]} · {record['created_at']}")
+    if record["spans"]:
+        lines.append("-- spans --")
+        for span in record["spans"]:
+            _render_span(span, 1, lines)
+    m = record["metrics"]
+    if m["counters"]:
+        lines.append("-- counters --")
+        for name in sorted(m["counters"]):
+            lines.append(f"  {name:<38} {m['counters'][name]:>14,}")
+    if m["gauges"]:
+        lines.append("-- gauges --")
+        for name in sorted(m["gauges"]):
+            lines.append(f"  {name:<38} {m['gauges'][name]}")
+    if m["histograms"]:
+        lines.append("-- histograms --")
+        for name in sorted(m["histograms"]):
+            s = m["histograms"][name]
+            lines.append(
+                f"  {name:<38} n={s['count']} mean={s['mean']:.6g} "
+                f"min={s['min']:.6g} max={s['max']:.6g}"
+            )
+    text = "\n".join(lines)
+    if file is not None:
+        print(text, file=file)
+    return text
+
+
+def _validator_main(argv=None) -> int:
+    """Validate run-record files from the shell (``python -m repro.obs FILE...``)."""
+    rc = 0
+    for arg in sys.argv[1:] if argv is None else argv:
+        try:
+            load_run_record(arg)
+            print(f"{arg}: ok")
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"{arg}: INVALID: {exc}", file=sys.stderr)
+            rc = 1
+    return rc
+
+
+if __name__ == "__main__":  # pragma: no cover - tiny validator CLI for CI
+    sys.exit(_validator_main())

@@ -1,0 +1,78 @@
+"""Process-wide instrumentation state: off by default, one switch.
+
+Hot paths ask ``get_tracer()`` / ``get_metrics()`` at call time and get
+the null implementations unless something turned instrumentation on —
+so tier-1 correctness paths pay a dict lookup and no-op calls, nothing
+more.  The CLI's ``--profile`` / ``--metrics-out`` flags and the tests
+use :func:`instrument`, which installs a *fresh* tracer/registry pair
+and restores the previous pair on exit (re-entrant, so suites can nest
+without leaking state into each other).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.span import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["get_tracer", "get_metrics", "is_enabled", "enable", "disable", "instrument"]
+
+_lock = threading.Lock()
+_tracer: Tracer | NullTracer = NULL_TRACER
+_metrics: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (null unless instrumentation is on)."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry | NullRegistry:
+    """The process-wide metrics registry (null unless instrumentation is on)."""
+    return _metrics
+
+
+def is_enabled() -> bool:
+    return _metrics.enabled or _tracer.enabled
+
+
+def enable() -> tuple[Tracer, MetricsRegistry]:
+    """Install a fresh live tracer + registry; returns the pair."""
+    global _tracer, _metrics
+    with _lock:
+        _tracer = Tracer()
+        _metrics = MetricsRegistry()
+        return _tracer, _metrics
+
+
+def disable() -> None:
+    """Back to the zero-overhead null implementations."""
+    global _tracer, _metrics
+    with _lock:
+        _tracer = NULL_TRACER
+        _metrics = NULL_REGISTRY
+
+
+@contextmanager
+def instrument() -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Scoped instrumentation: fresh pair inside, previous pair after.
+
+    >>> from repro.obs import instrument
+    >>> with instrument() as (tracer, metrics):
+    ...     with tracer.span("work"):
+    ...         metrics.counter("things_total").inc()
+    """
+    global _tracer, _metrics
+    with _lock:
+        prev = (_tracer, _metrics)
+        _tracer = Tracer()
+        _metrics = MetricsRegistry()
+        pair = (_tracer, _metrics)
+    try:
+        yield pair
+    finally:
+        with _lock:
+            _tracer, _metrics = prev

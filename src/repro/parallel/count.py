@@ -16,12 +16,14 @@ counter by construction (integer arithmetic, disjoint blocks).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.graphs.bipartite import BipartiteGraph
+from repro.obs import MetricsRegistry, get_metrics, get_tracer
 
 __all__ = ["parallel_global_butterflies"]
 
@@ -35,6 +37,22 @@ def _block_partial(X_csr: sp.csr_array, start: int, stop: int) -> int:
     keep = (coo.row + start) != coo.col
     w = coo.data[keep].astype(np.int64)
     return int((w * (w - 1) // 2).sum())
+
+
+def _block_partial_instrumented(X_csr: sp.csr_array, start: int, stop: int):
+    """Worker wrapper: partial sum plus a local metrics snapshot.
+
+    Worker processes cannot touch the parent's registry, so each builds
+    a throwaway local one and ships ``registry.snapshot()`` home with
+    the payload; the parent merges (counters add, histograms pool).
+    """
+    reg = MetricsRegistry()
+    t0 = time.perf_counter()
+    partial = _block_partial(X_csr, start, stop)
+    reg.histogram("parallel.count.worker_seconds").observe(time.perf_counter() - t0)
+    reg.counter("parallel.count.blocks_total").inc()
+    reg.counter("parallel.count.rows_total").inc(stop - start)
+    return partial, reg.snapshot()
 
 
 def parallel_global_butterflies(
@@ -57,12 +75,26 @@ def parallel_global_butterflies(
     blocks = [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
     if n_workers is None:
         n_workers = min(len(blocks), os.cpu_count() or 1)
-    if n_workers <= 1 or len(blocks) == 1:
-        total = sum(_block_partial(X, a, b) for a, b in blocks)
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(_block_partial, X, a, b) for a, b in blocks]
-            total = sum(f.result() for f in futures)
+    metrics = get_metrics()
+    with get_tracer().span(
+        "parallel.global_butterflies", n_blocks=len(blocks), n_workers=n_workers
+    ):
+        if n_workers <= 1 or len(blocks) == 1:
+            total = 0
+            for a, b in blocks:
+                partial, snap = _block_partial_instrumented(X, a, b)
+                total += partial
+                metrics.merge_snapshot(snap)
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(_block_partial_instrumented, X, a, b) for a, b in blocks
+                ]
+                total = 0
+                for f in futures:
+                    partial, snap = f.result()
+                    total += partial
+                    metrics.merge_snapshot(snap)
     count, rem = divmod(total, 2)
     assert rem == 0, "ordered same-side pair sums are even"
     return count

@@ -16,6 +16,7 @@ boundaries except as the shard being produced.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Union
@@ -23,6 +24,7 @@ from typing import Union
 import numpy as np
 
 from repro.kronecker.assumptions import BipartiteKronecker
+from repro.obs import MetricsRegistry, get_metrics, get_tracer
 from repro.parallel.partition import left_entry_slices, shard_of_product
 
 __all__ = ["generate_shards", "parallel_edge_count", "load_shards"]
@@ -30,15 +32,28 @@ __all__ = ["generate_shards", "parallel_edge_count", "load_shards"]
 PathLike = Union[str, os.PathLike]
 
 
-def _write_shard(bk: BipartiteKronecker, start: int, stop: int, path: str, ground_truth: bool) -> int:
-    """Worker: expand one slice and write it as an ``.npz`` shard."""
+def _write_shard(bk: BipartiteKronecker, start: int, stop: int, path: str, ground_truth: bool):
+    """Worker: expand one slice, write an ``.npz`` shard, report metrics.
+
+    Returns ``(entries_written, metrics_snapshot)``; the parent merges
+    the snapshot (workers cannot share the parent's registry across the
+    process boundary).
+    """
+    reg = MetricsRegistry()
+    t0 = time.perf_counter()
     if ground_truth:
         p, q, dia = shard_of_product(bk, start, stop, attach_ground_truth=True)
         np.savez(path, p=p, q=q, squares=dia)
+        shard_bytes = p.nbytes + q.nbytes + dia.nbytes
     else:
         p, q = shard_of_product(bk, start, stop)
         np.savez(path, p=p, q=q)
-    return int(p.size)
+        shard_bytes = p.nbytes + q.nbytes
+    reg.histogram("parallel.generate.worker_seconds").observe(time.perf_counter() - t0)
+    reg.histogram("parallel.generate.shard_size_bytes").observe(shard_bytes)
+    reg.counter("parallel.generate.entries_total").inc(int(p.size))
+    reg.counter("parallel.generate.shards_total").inc()
+    return int(p.size), reg.snapshot()
 
 
 def _count_shard(bk: BipartiteKronecker, start: int, stop: int) -> int:
@@ -69,17 +84,26 @@ def generate_shards(
     paths = [out_dir / f"shard_{k:04d}.npz" for k in range(len(slices))]
     if n_workers is None:
         n_workers = min(len(slices), os.cpu_count() or 1)
-    if n_workers <= 1:
-        for (start, stop), path in zip(slices, paths):
-            _write_shard(bk, start, stop, str(path), ground_truth)
-        return paths
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        futures = [
-            pool.submit(_write_shard, bk, start, stop, str(path), ground_truth)
-            for (start, stop), path in zip(slices, paths)
-        ]
-        for f in futures:
-            f.result()  # propagate worker exceptions
+    metrics = get_metrics()
+    with get_tracer().span(
+        "parallel.generate_shards",
+        n_shards=len(slices),
+        n_workers=n_workers,
+        ground_truth=ground_truth,
+    ):
+        if n_workers <= 1:
+            for (start, stop), path in zip(slices, paths):
+                _, snap = _write_shard(bk, start, stop, str(path), ground_truth)
+                metrics.merge_snapshot(snap)
+            return paths
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_write_shard, bk, start, stop, str(path), ground_truth)
+                for (start, stop), path in zip(slices, paths)
+            ]
+            for f in futures:
+                _, snap = f.result()  # propagate worker exceptions
+                metrics.merge_snapshot(snap)
     return paths
 
 
@@ -105,8 +129,16 @@ def parallel_edge_count(
     slices = left_entry_slices(bk, n_shards)
     if n_workers is None:
         n_workers = min(len(slices), os.cpu_count() or 1)
-    if n_workers <= 1:
-        return sum(_count_shard(bk, start, stop) for start, stop in slices)
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        futures = [pool.submit(_count_shard, bk, start, stop) for start, stop in slices]
-        return sum(f.result() for f in futures)
+    with get_tracer().span(
+        "parallel.edge_count", n_shards=len(slices), n_workers=n_workers
+    ) as sp:
+        if n_workers <= 1:
+            total = sum(_count_shard(bk, start, stop) for start, stop in slices)
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(_count_shard, bk, start, stop) for start, stop in slices
+                ]
+                total = sum(f.result() for f in futures)
+        sp.set(entries=total)
+    return total

@@ -8,8 +8,9 @@ This subpackage holds helpers that every other layer builds on:
   uniform, descriptive errors.
 * :mod:`repro.utils.rng` -- seeded random-number-generator plumbing so
   every stochastic generator in the library is reproducible.
-* :mod:`repro.utils.timing` -- a tiny wall-clock timer used by the
-  experiment harness (no external profiling dependencies).
+* :mod:`repro.utils.timing` -- the back-compat ``Timer`` alias over the
+  observability layer's :class:`~repro.obs.span.Span` (see
+  :mod:`repro.obs` for named/nested spans and metrics).
 """
 
 from repro.utils.indexing import (

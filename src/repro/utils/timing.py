@@ -1,21 +1,28 @@
-"""Minimal wall-clock timing for the experiment harness.
+"""Back-compat wall-clock timing, now backed by the observability layer.
 
-The guides' first rule of optimization is *measure before you change
-anything*.  The benchmark harness needs only coarse wall-clock numbers
-(the paper's claims are asymptotic shapes, not absolute times), so a
-``perf_counter`` context manager is the right altitude -- no external
-profiler dependency, no global state.
+Historically this module owned a bare ``perf_counter`` context manager;
+the tracing/metrics subsystem (:mod:`repro.obs`) subsumed it.  ``Timer``
+stays importable from here as a thin alias over
+:class:`repro.obs.span.Span` so existing harness code and examples keep
+working unchanged — same ``.start`` / ``.elapsed`` fields, same
+reusability.  New code wanting named or nested timings should use
+``repro.obs`` spans directly.
 """
 
 from __future__ import annotations
 
-import time
+from repro.obs.span import Span
 
 __all__ = ["Timer"]
 
 
-class Timer:
+class Timer(Span):
     """Context manager measuring elapsed wall-clock seconds.
+
+    A :class:`~repro.obs.span.Span` named ``"timer"`` with no tracer
+    attached; exiting without entering raises ``RuntimeError`` (an
+    explicit guard, unlike the old ``assert``, so it survives
+    ``python -O``).
 
     Example
     -------
@@ -25,17 +32,10 @@ class Timer:
     True
     """
 
+    __slots__ = ()
+
     def __init__(self) -> None:
-        self.start: float | None = None
-        self.elapsed: float = 0.0
-
-    def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        assert self.start is not None
-        self.elapsed = time.perf_counter() - self.start
+        super().__init__("timer")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Timer(elapsed={self.elapsed:.6f}s)"

@@ -1,0 +1,168 @@
+"""Metrics registry: kinds, snapshots, thread and process aggregation."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    instrument,
+    merge_snapshots,
+)
+
+
+def _pool_worker(n: int) -> dict:
+    """Worker: do n 'items' of work, return a local metrics snapshot."""
+    reg = MetricsRegistry()
+    reg.counter("work.items_total").inc(n)
+    reg.gauge("work.last_n").set(n)
+    reg.histogram("work.item_size").observe(float(n))
+    return reg.snapshot()
+
+
+class TestKinds:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("things_total")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("things_total").value == 5
+        assert reg.counter("things_total") is c
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("size").set(10)
+        reg.gauge("size").set(7)
+        assert reg.gauge("size").value == 7
+
+    def test_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("bytes")
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        s = h.summary()
+        assert s == {"count": 3, "sum": 12.0, "min": 2.0, "max": 6.0, "mean": 4.0}
+
+    def test_empty_histogram_summary(self):
+        assert MetricsRegistry().histogram("h").summary()["count"] == 0
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+
+class TestSnapshotMerge:
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_adds_counters_pools_histograms(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.histogram("h").observe(10.0)
+        for n in (2, 3):
+            worker = MetricsRegistry()
+            worker.counter("c").inc(n)
+            worker.histogram("h").observe(float(n))
+            parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("c").value == 6
+        s = parent.histogram("h").summary()
+        assert (s["count"], s["sum"], s["min"], s["max"]) == (3, 15.0, 2.0, 10.0)
+
+    def test_merge_snapshots_helper(self):
+        snaps = [_pool_worker(n) for n in (1, 2, 3)]
+        merged = merge_snapshots(snaps)
+        assert merged["counters"]["work.items_total"] == 6
+        assert merged["histograms"]["work.item_size"]["count"] == 3
+
+    def test_merge_empty_histogram_is_noop(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(MetricsRegistry().snapshot())
+        empty = MetricsRegistry()
+        empty.histogram("h")  # registered, never observed
+        parent.merge_snapshot(empty.snapshot())
+        assert parent.histogram("h").summary()["count"] == 0
+
+
+class TestProcessPoolAggregation:
+    def test_worker_snapshots_merge_across_processes(self):
+        parent = MetricsRegistry()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for snap in pool.map(_pool_worker, [5, 7, 9]):
+                parent.merge_snapshot(snap)
+        assert parent.counter("work.items_total").value == 21
+        h = parent.histogram("work.item_size").summary()
+        assert (h["count"], h["min"], h["max"]) == (3, 5.0, 9.0)
+        assert parent.gauge("work.last_n").value in (5, 7, 9)
+
+    def test_parallel_butterflies_populates_registry(self):
+        """The real aggregation hook: worker snapshots merged by the parent."""
+        from repro.generators import complete_bipartite
+        from repro.parallel import parallel_global_butterflies
+
+        bg = complete_bipartite(6, 8)
+        with instrument() as (tracer, metrics):
+            count = parallel_global_butterflies(bg, n_blocks=3, n_workers=2)
+        assert count == 15 * 28  # C(6,2) * C(8,2)
+        assert metrics.counter("parallel.count.blocks_total").value == 3
+        assert metrics.counter("parallel.count.rows_total").value == 6
+        assert metrics.histogram("parallel.count.worker_seconds").count == 3
+        span = tracer.find("parallel.global_butterflies")
+        assert span is not None and span.attrs["n_blocks"] == 3
+
+    def test_generate_shards_populates_registry(self, tmp_path):
+        from repro.generators import cycle_graph, path_graph
+        from repro.kronecker import Assumption, make_bipartite_product
+        from repro.parallel import generate_shards
+        from repro.parallel.generate import load_shards
+
+        bk = make_bipartite_product(cycle_graph(3), path_graph(4), Assumption.NON_BIPARTITE_FACTOR)
+        with instrument() as (tracer, metrics):
+            paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=2)
+        arrays = load_shards(paths)
+        expected = bk.M.nnz * bk.B.graph.nnz
+        assert arrays["p"].size == expected
+        assert metrics.counter("parallel.generate.entries_total").value == expected
+        assert metrics.counter("parallel.generate.shards_total").value == len(paths)
+        assert tracer.find("parallel.generate_shards") is not None
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_are_exact(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+
+        def hammer():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestNullRegistry:
+    def test_all_noop(self):
+        null = NULL_REGISTRY
+        null.counter("a").inc(10)
+        null.gauge("b").set(1)
+        null.histogram("c").observe(2.0)
+        assert null.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        null.merge_snapshot({"counters": {"a": 5}})
+        assert null.snapshot()["counters"] == {}
+        assert not NullRegistry().enabled
+        assert MetricsRegistry().enabled

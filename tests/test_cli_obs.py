@@ -1,0 +1,109 @@
+"""CLI observability: --profile / --metrics-out and clean error paths."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_run_record
+
+
+def _span_names(spans):
+    for span in spans:
+        yield span["name"]
+        yield from _span_names(span.get("children", []))
+
+
+class TestMetricsOut:
+    def test_generate_writes_valid_run_record(self, tmp_path):
+        out = tmp_path / "edges.txt"
+        record_path = tmp_path / "run.json"
+        rc = main(
+            ["generate", "complete:3", "path:4", "-o", str(out), "--metrics-out", str(record_path)]
+        )
+        assert rc == 0
+        record = load_run_record(record_path)  # validates the schema
+        names = list(_span_names(record["spans"]))
+        assert len(names) >= 3
+        assert {"cli.generate", "generate.build_product", "generate.write_edges"} <= set(names)
+
+        counters = record["metrics"]["counters"]
+        assert len(counters) >= 3
+        # 36 directed entries: nnz(K3) * nnz(P4) = 6 * 6.
+        assert counters["edges_streamed_total"] == 36
+        written = sum(1 for line in out.read_text().splitlines() if not line.startswith("#"))
+        assert counters["generate.edges_written_total"] == written == 18
+
+        assert record["config"]["factor_a"] == "complete:3"
+        assert record["exit_code"] == 0
+
+    def test_generate_ground_truth_has_setup_span(self, tmp_path):
+        record_path = tmp_path / "run.json"
+        rc = main(
+            ["generate", "cycle:3", "path:3", "--ground-truth",
+             "-o", str(tmp_path / "e.txt"), "--metrics-out", str(record_path)]
+        )
+        assert rc == 0
+        record = load_run_record(record_path)
+        assert "stream.setup_ground_truth" in set(_span_names(record["spans"]))
+
+    def test_stats_writes_record_with_gauges(self, tmp_path):
+        record_path = tmp_path / "run.json"
+        rc = main(["stats", "cycle:5", "path:4", "--metrics-out", str(record_path)])
+        assert rc == 0
+        record = load_run_record(record_path)
+        gauges = record["metrics"]["gauges"]
+        assert gauges["stats.product_vertices"] == 20
+        assert gauges["stats.global_squares"] >= 0
+        assert "stats.global_squares" in set(_span_names(record["spans"]))
+
+    def test_record_written_even_on_failure(self, tmp_path):
+        record_path = tmp_path / "run.json"
+        rc = main(
+            # K4 x C5: C5 is non-bipartite, so the build fails cleanly.
+            ["stats", "complete:4", "cycle:5", "--metrics-out", str(record_path)]
+        )
+        assert rc == 2
+        record = load_run_record(record_path)
+        assert record["exit_code"] == 2
+        (root,) = record["spans"]
+        assert root["status"] == "error"
+
+
+class TestProfile:
+    def test_profile_prints_tree_to_stderr(self, tmp_path, capsys):
+        rc = main(["generate", "complete:3", "path:4", "-o", str(tmp_path / "e.txt"), "--profile"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "cli.generate" in err
+        assert "edges_streamed_total" in err
+
+    def test_no_flags_means_no_instrumentation_output(self, tmp_path, capsys):
+        rc = main(["generate", "complete:3", "path:4", "-o", str(tmp_path / "e.txt")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "cli.generate" not in err
+
+
+class TestCleanErrorPaths:
+    @pytest.mark.parametrize("spec", ["biclique:3", "grid:ax2"])
+    def test_malformed_specs_exit_cleanly_with_usage(self, spec, capsys):
+        rc = main(["generate", spec, "path:4"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "usage:" in err
+        assert spec in err
+
+    def test_missing_x_message_names_expected_shape(self, capsys):
+        assert main(["stats", "biclique:3", "path:4"]) == 2
+        assert "biclique:MxN" in capsys.readouterr().err
+
+    def test_module_entry_point_raises_systemexit(self, tmp_path, monkeypatch):
+        """``python -m repro`` == ``sys.exit(main())``: a clean SystemExit(2)."""
+        import runpy
+        import sys
+
+        monkeypatch.setattr(
+            sys, "argv", ["repro", "generate", "grid:ax2", "path:4"]
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_module("repro", run_name="__main__")
+        assert excinfo.value.code == 2

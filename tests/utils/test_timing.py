@@ -32,3 +32,24 @@ def test_reusable():
         sum(range(1000))
     assert t.elapsed >= 0.0
     assert t.elapsed is not first or True  # second run overwrote the field
+
+
+def test_exit_without_enter_raises_even_under_optimization():
+    """RuntimeError, not assert: the guard must survive ``python -O``."""
+    import pytest
+
+    with pytest.raises(RuntimeError):
+        Timer().__exit__(None, None, None)
+
+
+def test_timer_is_a_span_alias():
+    from repro.obs import Span
+    from repro.utils import Timer as package_timer
+
+    assert package_timer is Timer  # still exported from repro.utils
+    t = Timer()
+    assert isinstance(t, Span)
+    assert t.start is None
+    with t:
+        pass
+    assert t.start is not None and t.elapsed >= 0.0
