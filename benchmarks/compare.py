@@ -1,0 +1,91 @@
+"""Warn-only throughput comparison between two ``BENCH_*.json`` records.
+
+CI runs the quick-mode benchmarks, then::
+
+    PYTHONPATH=src python benchmarks/compare.py baseline.json current.json
+
+Rows are matched by bench name; every shared ``*_per_s`` (and
+``seconds``) field is compared and a delta table printed.  Regressions
+beyond ``--warn-threshold`` (default 20%) are flagged with ``WARN`` —
+but the exit code is always 0: quick-mode CI runners are noisy shared
+machines, so this is a trend signal for humans reading the log, not a
+gate.  (Committed baselines come from full-mode local runs; quick-mode
+numbers are only compared against other quick-mode numbers insofar as
+the reader accounts for the scale difference — the table prints each
+record's ``quick`` flag so that mismatch is visible.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.obs import load_run_record
+
+
+def _rows_by_bench(record: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    return {row["bench"]: row for row in record.get("benches", [])}
+
+
+def _comparable_fields(a: dict[str, Any], b: dict[str, Any]) -> list[str]:
+    shared = set(a) & set(b)
+    return sorted(
+        f for f in shared if f.endswith("_per_s") or f == "seconds"
+        if isinstance(a[f], (int, float)) and isinstance(b[f], (int, float))
+    )
+
+
+def compare(baseline: dict[str, Any], current: dict[str, Any], warn_threshold: float) -> list[str]:
+    """Return the report lines (also used by tests)."""
+    base_rows = _rows_by_bench(baseline)
+    curr_rows = _rows_by_bench(current)
+    lines = [
+        f"benchmark comparison: {baseline.get('name', '?')} "
+        f"(baseline, quick={any(r.get('quick') for r in base_rows.values())}) vs "
+        f"current (quick={any(r.get('quick') for r in curr_rows.values())})",
+        f"{'bench':<42}{'field':<20}{'baseline':>14}{'current':>14}{'delta':>10}",
+    ]
+    for bench in sorted(set(base_rows) | set(curr_rows)):
+        if bench not in base_rows:
+            lines.append(f"{bench:<42}{'(new bench, no baseline)':<20}")
+            continue
+        if bench not in curr_rows:
+            lines.append(f"{bench:<42}{'(missing from current)':<20}  WARN")
+            continue
+        a, b = base_rows[bench], curr_rows[bench]
+        for field in _comparable_fields(a, b):
+            base_v, curr_v = float(a[field]), float(b[field])
+            if base_v == 0.0:
+                delta_s, flag = "n/a", ""
+            else:
+                delta = (curr_v - base_v) / base_v
+                # higher is better for *_per_s; lower is better for seconds
+                regressing = delta < -warn_threshold if field != "seconds" else delta > warn_threshold
+                delta_s = f"{delta:+.1%}"
+                flag = "  WARN" if regressing else ""
+            lines.append(f"{bench:<42}{field:<20}{base_v:>14.3g}{curr_v:>14.3g}{delta_s:>10}{flag}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--warn-threshold",
+        type=float,
+        default=0.20,
+        help="relative regression beyond which a row is flagged WARN (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_run_record(args.baseline)
+    current = load_run_record(args.current)
+    for line in compare(baseline, current, args.warn_threshold):
+        print(line)
+    print("(warn-only: exit 0 regardless)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

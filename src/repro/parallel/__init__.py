@@ -17,6 +17,12 @@ single-node, multi-process realisation of that plan:
 * :mod:`~repro.parallel.count` -- parallel direct butterfly counting
   by row-block codegree partial sums; the validation-side workload a
   cluster would run against the generator's ground truth.
+* :mod:`~repro.parallel.manifest` -- versioned, checksummed shard
+  manifests written atomically alongside the shards; the integrity
+  record that makes partial failure detectable and resume safe.
+* :mod:`~repro.parallel.faults` -- deterministic fault injection and
+  the bounded-retry / exponential-backoff executor loop shared by the
+  generation and counting paths.
 
 Design notes (per the HPC guides): work units are coarse (one shard =
 thousands of edge blocks) so process spawn and pickling costs amortize;
@@ -26,13 +32,52 @@ bit-identical to the serial ones -- which the tests assert.
 """
 
 from repro.parallel.count import parallel_global_butterflies
-from repro.parallel.generate import generate_shards, parallel_edge_count
+from repro.parallel.faults import (
+    FaultInjectedError,
+    FaultInjector,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    map_with_retry,
+)
+from repro.parallel.generate import generate_shards, load_shards, parallel_edge_count
+from repro.parallel.manifest import (
+    MANIFEST_NAME,
+    ManifestError,
+    ShardEntry,
+    ShardIntegrityError,
+    ShardManifest,
+    checksum_arrays,
+    load_manifest,
+    product_signature,
+    shard_file_checksum,
+    validate_manifest,
+    verify_shards,
+    write_manifest,
+)
 from repro.parallel.partition import left_entry_slices, shard_of_product
 
 __all__ = [
     "left_entry_slices",
     "shard_of_product",
     "generate_shards",
+    "load_shards",
     "parallel_edge_count",
     "parallel_global_butterflies",
+    "FaultInjector",
+    "FaultInjectedError",
+    "RetryPolicy",
+    "RetryBudgetExceeded",
+    "map_with_retry",
+    "MANIFEST_NAME",
+    "ManifestError",
+    "ShardEntry",
+    "ShardIntegrityError",
+    "ShardManifest",
+    "checksum_arrays",
+    "load_manifest",
+    "product_signature",
+    "shard_file_checksum",
+    "validate_manifest",
+    "verify_shards",
+    "write_manifest",
 ]

@@ -17,13 +17,14 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.obs import MetricsRegistry, get_metrics, get_tracer
+from repro.parallel.faults import FaultInjector, RetryPolicy, map_with_retry
 
 __all__ = ["parallel_global_butterflies"]
 
@@ -39,13 +40,22 @@ def _block_partial(X_csr: sp.csr_array, start: int, stop: int) -> int:
     return int((w * (w - 1) // 2).sum())
 
 
-def _block_partial_instrumented(X_csr: sp.csr_array, start: int, stop: int):
+def _block_partial_instrumented(
+    X_csr: sp.csr_array,
+    index: int,
+    start: int,
+    stop: int,
+    attempt: int = 0,
+    injector: Optional[FaultInjector] = None,
+):
     """Worker wrapper: partial sum plus a local metrics snapshot.
 
     Worker processes cannot touch the parent's registry, so each builds
     a throwaway local one and ships ``registry.snapshot()`` home with
     the payload; the parent merges (counters add, histograms pool).
     """
+    if injector is not None:
+        injector.maybe_fail(index, attempt)
     reg = MetricsRegistry()
     t0 = time.perf_counter()
     partial = _block_partial(X_csr, start, stop)
@@ -56,14 +66,21 @@ def _block_partial_instrumented(X_csr: sp.csr_array, start: int, stop: int):
 
 
 def parallel_global_butterflies(
-    bg: BipartiteGraph, n_blocks: int = 4, n_workers: int | None = None
+    bg: BipartiteGraph,
+    n_blocks: int = 4,
+    n_workers: int | None = None,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> int:
     """Exact global butterfly count by parallel row-block reduction.
 
     Splits the smaller side's biadjacency rows into ``n_blocks``
     contiguous blocks; each worker forms its block's codegree rows and
     partial choose-2 sum.  Each butterfly is counted by exactly two
-    ordered same-side pairs, hence the final halving.
+    ordered same-side pairs, hence the final halving.  Failed or killed
+    workers are retried with backoff (see :mod:`repro.parallel.faults`),
+    so the validation side of a long run survives transient deaths too.
     """
     if n_blocks <= 0:
         raise ValueError(f"n_blocks must be positive, got {n_blocks}")
@@ -79,22 +96,19 @@ def parallel_global_butterflies(
     with get_tracer().span(
         "parallel.global_butterflies", n_blocks=len(blocks), n_workers=n_workers
     ):
-        if n_workers <= 1 or len(blocks) == 1:
-            total = 0
-            for a, b in blocks:
-                partial, snap = _block_partial_instrumented(X, a, b)
-                total += partial
-                metrics.merge_snapshot(snap)
-        else:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = [
-                    pool.submit(_block_partial_instrumented, X, a, b) for a, b in blocks
-                ]
-                total = 0
-                for f in futures:
-                    partial, snap = f.result()
-                    total += partial
-                    metrics.merge_snapshot(snap)
+        tasks = [(k, (X, k, a, b)) for k, (a, b) in enumerate(blocks)]
+        results = map_with_retry(
+            _block_partial_instrumented,
+            tasks,
+            n_workers=n_workers,
+            policy=retry,
+            injector=fault_injector,
+            metric_prefix="parallel.count",
+        )
+        total = 0
+        for partial, snap in results.values():
+            total += partial
+            metrics.merge_snapshot(snap)
     count, rem = divmod(total, 2)
     assert rem == 0, "ordered same-side pair sums are even"
     return count

@@ -1,4 +1,4 @@
-"""Parallel shard generation of Kronecker products.
+"""Parallel shard generation of Kronecker products, fault-tolerantly.
 
 Each worker process independently expands a slice of the left factor's
 entries into its shard of product edges (see
@@ -6,6 +6,20 @@ entries into its shard of product edges (see
 the single-node analogue of ranks writing distributed graph partitions.
 Ground truth can be attached during generation, so a cluster-scale run
 would never need a counting pass at all (§V).
+
+Fault tolerance (docs/fault_tolerance.md):
+
+* shards are written to a ``.part`` temp name and ``os.replace``d into
+  place, so a killed worker can never leave a torn file under a final
+  shard name;
+* every completed shard is recorded -- slice bounds, entry count, byte
+  size, content checksum -- in an atomically updated
+  :mod:`manifest <repro.parallel.manifest>`;
+* failed or killed workers are retried with bounded exponential
+  backoff (:mod:`repro.parallel.faults`), and ``resume=True``
+  reconciles against the manifest so completed shards are skipped;
+* :func:`load_shards` re-verifies content checksums before trusting
+  shard data.
 
 Workers receive the whole :class:`BipartiteKronecker` handle: factors
 are tiny (that's the premise of the paper), so pickling them to every
@@ -17,14 +31,26 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.kronecker.assumptions import BipartiteKronecker
 from repro.obs import MetricsRegistry, get_metrics, get_tracer
+from repro.parallel.faults import FaultInjector, RetryPolicy, map_with_retry
+from repro.parallel.manifest import (
+    MANIFEST_NAME,
+    ShardEntry,
+    ShardIntegrityError,
+    ShardManifest,
+    checksum_arrays,
+    load_manifest,
+    product_signature,
+    shard_file_checksum,
+    write_manifest,
+)
 from repro.parallel.partition import left_entry_slices, shard_of_product
 
 __all__ = ["generate_shards", "parallel_edge_count", "load_shards"]
@@ -32,34 +58,82 @@ __all__ = ["generate_shards", "parallel_edge_count", "load_shards"]
 PathLike = Union[str, os.PathLike]
 
 
-def _write_shard(bk: BipartiteKronecker, start: int, stop: int, path: str, ground_truth: bool):
-    """Worker: expand one slice, write an ``.npz`` shard, report metrics.
+def _write_shard(
+    bk: BipartiteKronecker,
+    index: int,
+    start: int,
+    stop: int,
+    path: str,
+    ground_truth: bool,
+    attempt: int = 0,
+    injector: Optional[FaultInjector] = None,
+):
+    """Worker: expand one slice, write an ``.npz`` shard atomically.
 
-    Returns ``(entries_written, metrics_snapshot)``; the parent merges
-    the snapshot (workers cannot share the parent's registry across the
-    process boundary).
+    Returns ``(entries, bytes, checksum, metrics_snapshot)``; the parent
+    merges the snapshot (workers cannot share the parent's registry
+    across the process boundary) and records the rest in the manifest.
+    The shard lands under its final name only via ``os.replace`` of the
+    fully written ``.part`` file, so a crash at any point here leaves no
+    partial shard behind.
     """
     reg = MetricsRegistry()
+    tmp = path + ".part"
+    if injector is not None:
+        reg.counter("parallel.generate.fault_checks_total").inc()
+        injector.maybe_fail(index, attempt, partial_path=tmp)
     t0 = time.perf_counter()
     if ground_truth:
         p, q, dia = shard_of_product(bk, start, stop, attach_ground_truth=True)
-        np.savez(path, p=p, q=q, squares=dia)
-        shard_bytes = p.nbytes + q.nbytes + dia.nbytes
+        arrays = {"p": p, "q": q, "squares": dia}
     else:
         p, q = shard_of_product(bk, start, stop)
-        np.savez(path, p=p, q=q)
-        shard_bytes = p.nbytes + q.nbytes
+        arrays = {"p": p, "q": q}
+    checksum = checksum_arrays(arrays)
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **arrays)
+    nbytes = os.path.getsize(tmp)
+    os.replace(tmp, path)
     reg.histogram("parallel.generate.worker_seconds").observe(time.perf_counter() - t0)
-    reg.histogram("parallel.generate.shard_size_bytes").observe(shard_bytes)
+    reg.histogram("parallel.generate.shard_size_bytes").observe(nbytes)
     reg.counter("parallel.generate.entries_total").inc(int(p.size))
     reg.counter("parallel.generate.shards_total").inc()
-    return int(p.size), reg.snapshot()
+    return int(p.size), int(nbytes), checksum, reg.snapshot()
 
 
-def _count_shard(bk: BipartiteKronecker, start: int, stop: int) -> int:
+def _count_shard(
+    bk: BipartiteKronecker,
+    index: int,
+    start: int,
+    stop: int,
+    attempt: int = 0,
+    injector: Optional[FaultInjector] = None,
+) -> int:
     """Worker: count one slice's product entries (no I/O)."""
+    if injector is not None:
+        injector.maybe_fail(index, attempt)
     p, _ = shard_of_product(bk, start, stop)
     return int(p.size)
+
+
+def _reusable_shards(
+    manifest: ShardManifest, paths: list[Path]
+) -> set[int]:
+    """Which manifest-recorded shards are intact on disk (full checksum)."""
+    reusable: set[int] = set()
+    for index, entry in manifest.shards.items():
+        if index >= len(paths):
+            continue
+        path = paths[index]
+        if not path.exists() or path.name != entry.path:
+            continue
+        try:
+            ok = shard_file_checksum(path) == entry.checksum
+        except (OSError, ValueError, zipfile.BadZipFile):
+            ok = False
+        if ok:
+            reusable.add(index)
+    return reusable
 
 
 def generate_shards(
@@ -68,6 +142,10 @@ def generate_shards(
     n_shards: int = 4,
     n_workers: int | None = None,
     ground_truth: bool = False,
+    *,
+    resume: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> list[Path]:
     """Write the product as ``n_shards`` ``.npz`` shard files, in parallel.
 
@@ -76,7 +154,21 @@ def generate_shards(
     ``ground_truth=True``, ``squares`` (exact per-entry 4-cycle counts).
     The concatenation of all shards is exactly the product's COO entry
     list in left-factor order -- deterministic regardless of worker
-    scheduling, because each shard's content depends only on its slice.
+    scheduling, retries, or resume boundaries, because each shard's
+    content depends only on its slice.
+
+    A ``manifest.json`` is maintained in ``out_dir`` (atomically, after
+    every shard completion) recording each completed shard's slice
+    bounds, entry count, byte size, and content checksum.  With
+    ``resume=True`` an existing manifest with a matching product
+    signature is reconciled first: shards whose on-disk content still
+    matches their recorded checksum are skipped.  Failed or killed
+    workers are retried per ``retry`` (default :class:`RetryPolicy`);
+    when a shard exhausts its budget, :class:`RetryBudgetExceeded`
+    propagates *after* all completed shards were recorded, so a
+    follow-up ``resume=True`` run picks up exactly where this one died.
+    ``fault_injector`` deterministically simulates worker crashes (for
+    tests and the CI crash/resume smoke).
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -84,47 +176,110 @@ def generate_shards(
     paths = [out_dir / f"shard_{k:04d}.npz" for k in range(len(slices))]
     if n_workers is None:
         n_workers = min(len(slices), os.cpu_count() or 1)
+    signature = product_signature(bk, len(slices), ground_truth)
+    manifest_path = out_dir / MANIFEST_NAME
+    manifest = ShardManifest(signature=signature)
+    done: set[int] = set()
+    if resume and manifest_path.exists():
+        manifest = load_manifest(manifest_path)
+        manifest.require_signature(signature)
+        done = _reusable_shards(manifest, paths)
+        # Drop entries that failed reconciliation so the manifest never
+        # vouches for bytes we are about to rewrite.
+        for index in sorted(set(manifest.shards) - done):
+            del manifest.shards[index]
     metrics = get_metrics()
     with get_tracer().span(
         "parallel.generate_shards",
         n_shards=len(slices),
         n_workers=n_workers,
         ground_truth=ground_truth,
-    ):
-        if n_workers <= 1:
-            for (start, stop), path in zip(slices, paths):
-                _, snap = _write_shard(bk, start, stop, str(path), ground_truth)
-                metrics.merge_snapshot(snap)
-            return paths
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_write_shard, bk, start, stop, str(path), ground_truth)
-                for (start, stop), path in zip(slices, paths)
-            ]
-            for f in futures:
-                _, snap = f.result()  # propagate worker exceptions
-                metrics.merge_snapshot(snap)
+        resume=resume,
+    ) as sp:
+        metrics.counter("parallel.generate.shards_skipped_total").inc(len(done))
+        write_manifest(manifest, manifest_path)
+        tasks = [
+            (k, (bk, k, start, stop, str(paths[k]), ground_truth))
+            for k, (start, stop) in enumerate(slices)
+            if k not in done
+        ]
+
+        def on_success(key: int, result) -> None:
+            entries, nbytes, checksum, snap = result
+            metrics.merge_snapshot(snap)
+            start, stop = slices[key]
+            manifest.add(
+                ShardEntry(
+                    index=key,
+                    path=paths[key].name,
+                    start=start,
+                    stop=stop,
+                    entries=entries,
+                    bytes=nbytes,
+                    checksum=checksum,
+                )
+            )
+            write_manifest(manifest, manifest_path)
+
+        map_with_retry(
+            _write_shard,
+            tasks,
+            n_workers=n_workers,
+            policy=retry,
+            injector=fault_injector,
+            metric_prefix="parallel.generate",
+            on_success=on_success,
+        )
+        sp.set(shards_written=len(tasks), shards_skipped=len(done))
     return paths
 
 
-def load_shards(paths) -> dict[str, np.ndarray]:
-    """Concatenate shard files back into flat COO arrays."""
+def load_shards(paths, manifest: Optional[Union[ShardManifest, PathLike]] = None) -> dict[str, np.ndarray]:
+    """Concatenate shard files back into flat COO arrays.
+
+    With ``manifest`` (a :class:`ShardManifest` or a path to one / its
+    directory), every shard's content checksum is verified before its
+    data is trusted; a mismatch raises :class:`ShardIntegrityError`
+    naming the offending shard.
+    """
+    entries_by_name: dict[str, ShardEntry] = {}
+    if manifest is not None:
+        if not isinstance(manifest, ShardManifest):
+            manifest = load_manifest(manifest)
+        entries_by_name = {e.path: e for e in manifest.shards.values()}
     arrays: dict[str, list[np.ndarray]] = {}
     for path in paths:
         with np.load(path) as data:
-            for key in data.files:
-                arrays.setdefault(key, []).append(data[key])
+            shard = {key: data[key] for key in data.files}
+        if manifest is not None:
+            name = Path(path).name
+            entry = entries_by_name.get(name)
+            if entry is None:
+                raise ShardIntegrityError(f"shard {name} is not recorded in the manifest")
+            actual = checksum_arrays(shard)
+            if actual != entry.checksum:
+                raise ShardIntegrityError(
+                    f"shard {name}: checksum {actual} != recorded {entry.checksum}"
+                )
+        for key, value in shard.items():
+            arrays.setdefault(key, []).append(value)
     return {key: np.concatenate(parts) for key, parts in arrays.items()}
 
 
 def parallel_edge_count(
-    bk: BipartiteKronecker, n_shards: int = 4, n_workers: int | None = None
+    bk: BipartiteKronecker,
+    n_shards: int = 4,
+    n_workers: int | None = None,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> int:
     """Count the product's directed entries by parallel reduction.
 
     A smoke-test-sized demonstration of the map-reduce shape: workers
     count their shards, the parent sums.  Must equal ``nnz(M)·nnz(B)``
-    (asserted in tests against the closed form).
+    (asserted in tests against the closed form).  Worker failures are
+    retried under the same policy machinery as :func:`generate_shards`.
     """
     slices = left_entry_slices(bk, n_shards)
     if n_workers is None:
@@ -132,13 +287,15 @@ def parallel_edge_count(
     with get_tracer().span(
         "parallel.edge_count", n_shards=len(slices), n_workers=n_workers
     ) as sp:
-        if n_workers <= 1:
-            total = sum(_count_shard(bk, start, stop) for start, stop in slices)
-        else:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = [
-                    pool.submit(_count_shard, bk, start, stop) for start, stop in slices
-                ]
-                total = sum(f.result() for f in futures)
+        tasks = [(k, (bk, k, start, stop)) for k, (start, stop) in enumerate(slices)]
+        results = map_with_retry(
+            _count_shard,
+            tasks,
+            n_workers=n_workers,
+            policy=retry,
+            injector=fault_injector,
+            metric_prefix="parallel.edge_count",
+        )
+        total = sum(results.values())
         sp.set(entries=total)
     return total

@@ -1,0 +1,212 @@
+"""Tests for the checksummed shard manifest layer.
+
+The manifest is the integrity record of a sharded run: round-tripping
+must be lossless, writes atomic, checksums content-deterministic, and
+every corruption mode (tampered bytes, missing file, wrong signature)
+must be *detected*, never silently trusted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.generators import complete_bipartite, cycle_graph, path_graph
+from repro.kronecker import Assumption, make_bipartite_product
+from repro.obs import instrument
+from repro.parallel import (
+    MANIFEST_NAME,
+    ManifestError,
+    ShardIntegrityError,
+    ShardManifest,
+    checksum_arrays,
+    generate_shards,
+    load_manifest,
+    load_shards,
+    product_signature,
+    shard_file_checksum,
+    validate_manifest,
+    verify_shards,
+    write_manifest,
+)
+
+
+@pytest.fixture
+def bk():
+    return make_bipartite_product(
+        cycle_graph(5), complete_bipartite(2, 3).graph, Assumption.NON_BIPARTITE_FACTOR
+    )
+
+
+@pytest.fixture
+def bk_ii():
+    return make_bipartite_product(
+        complete_bipartite(2, 2).graph, path_graph(5), Assumption.SELF_LOOPS_FACTOR
+    )
+
+
+class TestChecksum:
+    def test_content_checksum_ignores_container_bytes(self, bk, tmp_path):
+        """Same data written twice gives the same checksum even though
+        the .npz zip bytes differ (timestamps)."""
+        a = generate_shards(bk, tmp_path / "a", n_shards=3, n_workers=1)
+        b = generate_shards(bk, tmp_path / "b", n_shards=3, n_workers=1)
+        for pa, pb in zip(a, b):
+            assert shard_file_checksum(pa) == shard_file_checksum(pb)
+
+    def test_checksum_depends_on_key_dtype_shape_data(self):
+        base = {"p": np.arange(4, dtype=np.int64)}
+        assert checksum_arrays(base) == checksum_arrays({"p": np.arange(4, dtype=np.int64)})
+        assert checksum_arrays(base) != checksum_arrays({"q": np.arange(4, dtype=np.int64)})
+        assert checksum_arrays(base) != checksum_arrays({"p": np.arange(4, dtype=np.int32)})
+        assert checksum_arrays(base) != checksum_arrays(
+            {"p": np.arange(4, dtype=np.int64).reshape(2, 2)}
+        )
+        assert checksum_arrays(base) != checksum_arrays({"p": np.arange(1, 5, dtype=np.int64)})
+
+    def test_checksum_key_order_invariant(self):
+        p, q = np.arange(3), np.arange(3, 6)
+        assert checksum_arrays({"p": p, "q": q}) == checksum_arrays({"q": q, "p": p})
+
+
+class TestManifestRoundTrip:
+    def test_round_trip(self, bk, tmp_path):
+        generate_shards(bk, tmp_path, n_shards=3, n_workers=2)
+        manifest = load_manifest(tmp_path / MANIFEST_NAME)
+        assert manifest.is_complete()
+        assert sorted(manifest.shards) == [0, 1, 2]
+        # write -> load is lossless
+        write_manifest(manifest, tmp_path / "copy.json")
+        again = load_manifest(tmp_path / "copy.json")
+        assert again.signature == manifest.signature
+        assert again.shards == manifest.shards
+
+    def test_manifest_records_slices_and_sizes(self, bk, tmp_path):
+        paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        manifest = load_manifest(tmp_path)
+        total_entries = sum(e.entries for e in manifest.shards.values())
+        assert total_entries == bk.M.nnz * bk.B.graph.nnz
+        assert manifest.shards[0].start == 0
+        assert manifest.shards[2].stop == bk.M.nnz
+        for k, path in enumerate(paths):
+            assert manifest.shards[k].bytes == path.stat().st_size
+
+    def test_atomic_write_leaves_no_temp(self, bk, tmp_path):
+        generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix in (".tmp", ".part")]
+        assert leftovers == []
+
+    def test_version_gate(self, bk, tmp_path):
+        generate_shards(bk, tmp_path, n_shards=2, n_workers=1)
+        payload = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        payload["manifest_version"] = 99
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(ManifestError, match="manifest_version"):
+            load_manifest(tmp_path / MANIFEST_NAME)
+
+    def test_missing_and_malformed(self, tmp_path):
+        with pytest.raises(ManifestError, match="no manifest"):
+            load_manifest(tmp_path / "nope.json")
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            load_manifest(tmp_path / "bad.json")
+
+
+class TestIntegrityDetection:
+    def test_verify_shards_clean(self, bk, tmp_path):
+        generate_shards(bk, tmp_path, n_shards=3, n_workers=2)
+        manifest = verify_shards(tmp_path)
+        assert manifest.is_complete()
+
+    def test_load_shards_detects_tamper(self, bk, tmp_path):
+        paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        # Rewrite shard 1 with different data under the same keys.
+        with np.load(paths[1]) as data:
+            p, q = data["p"].copy(), data["q"].copy()
+        p[0] += 1
+        np.savez(paths[1].with_suffix(""), p=p, q=q)
+        with pytest.raises(ShardIntegrityError, match="shard_0001"):
+            load_shards(paths, manifest=tmp_path)
+        # Without a manifest the (corrupt) load still succeeds -- the
+        # manifest is what buys detection.
+        assert load_shards(paths)["p"].size == bk.M.nnz * bk.B.graph.nnz
+
+    def test_load_shards_rejects_unrecorded_shard(self, bk, tmp_path):
+        paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        rogue = tmp_path / "shard_9999.npz"
+        np.savez(rogue.with_suffix(""), p=np.arange(2), q=np.arange(2))
+        with pytest.raises(ShardIntegrityError, match="not recorded"):
+            load_shards([*paths, rogue], manifest=tmp_path)
+
+    def test_validate_manifest_reports_missing_and_corrupt(self, bk, tmp_path):
+        paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        manifest = load_manifest(tmp_path)
+        paths[0].unlink()
+        raw = paths[2].read_bytes()
+        paths[2].write_bytes(raw[: len(raw) // 2])  # torn file
+        problems = validate_manifest(manifest, tmp_path)
+        text = "\n".join(problems)
+        assert "shard 0: missing file" in text
+        assert "shard 2" in text
+        with pytest.raises(ShardIntegrityError):
+            verify_shards(tmp_path)
+
+    def test_verify_shards_flags_incomplete(self, bk, tmp_path):
+        generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        manifest = load_manifest(tmp_path)
+        del manifest.shards[1]
+        write_manifest(manifest, tmp_path / MANIFEST_NAME)
+        with pytest.raises(ShardIntegrityError, match="incomplete"):
+            verify_shards(tmp_path)
+        assert verify_shards(tmp_path, require_complete=False) is not None
+
+
+class TestResume:
+    def test_resume_skips_completed_shards(self, bk, tmp_path):
+        paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        mtimes = [p.stat().st_mtime_ns for p in paths]
+        with instrument() as (_, metrics):
+            generate_shards(bk, tmp_path, n_shards=3, n_workers=1, resume=True)
+            snap = metrics.snapshot()
+        assert snap["counters"]["parallel.generate.shards_skipped_total"] == 3
+        assert snap["counters"].get("parallel.generate.shards_total", 0) == 0
+        assert [p.stat().st_mtime_ns for p in paths] == mtimes  # untouched
+
+    def test_resume_regenerates_tampered_shard(self, bk, tmp_path):
+        paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        clean = load_manifest(tmp_path)
+        paths[1].write_bytes(b"garbage")
+        generate_shards(bk, tmp_path, n_shards=3, n_workers=1, resume=True)
+        resumed = verify_shards(tmp_path)
+        assert resumed.shards[1].checksum == clean.shards[1].checksum
+
+    def test_resume_signature_mismatch(self, bk, bk_ii, tmp_path):
+        generate_shards(bk, tmp_path, n_shards=3, n_workers=1)
+        with pytest.raises(ManifestError, match="signature mismatch"):
+            generate_shards(bk_ii, tmp_path, n_shards=3, n_workers=1, resume=True)
+        with pytest.raises(ManifestError, match="signature mismatch"):
+            generate_shards(bk, tmp_path, n_shards=4, n_workers=1, resume=True)
+        with pytest.raises(ManifestError, match="signature mismatch"):
+            generate_shards(
+                bk, tmp_path, n_shards=3, n_workers=1, ground_truth=True, resume=True
+            )
+
+    def test_fresh_run_overwrites_old_manifest(self, bk, bk_ii, tmp_path):
+        generate_shards(bk_ii, tmp_path, n_shards=2, n_workers=1)
+        generate_shards(bk, tmp_path, n_shards=2, n_workers=1)  # no resume: fresh
+        manifest = load_manifest(tmp_path)
+        assert manifest.signature == product_signature(bk, 2, False)
+
+    def test_ground_truth_survives_resume(self, bk_ii, tmp_path):
+        from repro.analytics import edge_squares_matrix
+
+        paths = generate_shards(
+            bk_ii, tmp_path, n_shards=2, n_workers=1, ground_truth=True
+        )
+        generate_shards(
+            bk_ii, tmp_path, n_shards=2, n_workers=1, ground_truth=True, resume=True
+        )
+        data = load_shards(paths, manifest=tmp_path)
+        dia_ref = edge_squares_matrix(bk_ii.materialize())
+        for p, q, d in zip(data["p"].tolist(), data["q"].tolist(), data["squares"].tolist()):
+            assert dia_ref[p, q] == d

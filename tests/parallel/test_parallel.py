@@ -101,6 +101,16 @@ class TestGenerateShards:
         for p, q, d in zip(data["p"].tolist(), data["q"].tolist(), data["squares"].tolist()):
             assert dia_ref[p, q] == d
 
+    def test_roundtrip_with_manifest_verification(self, bk, tmp_path):
+        """load_shards can verify content checksums against the manifest
+        written during generation (the fault-tolerance layer's default)."""
+        paths = generate_shards(bk, tmp_path, n_shards=3, n_workers=2)
+        data = load_shards(paths, manifest=tmp_path)
+        C = bk.materialize()
+        coo = C.adj.tocoo()
+        got = set(zip(data["p"].tolist(), data["q"].tolist()))
+        assert got == set(zip(coo.row.tolist(), coo.col.tolist()))
+
     def test_edge_count_matches_closed_form(self, bk):
         assert parallel_edge_count(bk, n_shards=4, n_workers=2) == bk.M.nnz * bk.B.graph.nnz
 

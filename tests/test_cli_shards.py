@@ -1,0 +1,118 @@
+"""Tests for the ``shards`` CLI command: fault-tolerant sharded generation.
+
+Covers the operator-facing crash/resume workflow end to end: clean runs
+verify, injected crashes exit with a distinct code and leave a usable
+manifest, ``--resume`` completes the run with checksums identical to a
+clean single pass, and ``--verify`` catches tampering.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.parallel import MANIFEST_NAME, load_manifest, load_shards, verify_shards
+
+FACTORS = ["complete:3", "biclique:2x3"]
+
+
+def _shards(*extra):
+    return ["shards", *FACTORS, *extra]
+
+
+class TestShardsCommand:
+    def test_clean_run_verifies(self, tmp_path, capsys):
+        rc = main(_shards("-o", str(tmp_path), "--shards", "4", "--workers", "2", "--verify"))
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "4/4 shards complete" in err
+        assert "verify: all shard checksums match" in err
+        manifest = verify_shards(tmp_path)
+        assert manifest.is_complete()
+
+    def test_ground_truth_flag(self, tmp_path):
+        rc = main(_shards("-o", str(tmp_path), "--shards", "2", "--ground-truth"))
+        assert rc == 0
+        data = load_shards(sorted(tmp_path.glob("shard_*.npz")), manifest=tmp_path)
+        assert "squares" in data
+
+    def test_crash_exits_3_then_resume_completes(self, tmp_path, capsys):
+        crash = main(
+            _shards(
+                "-o", str(tmp_path), "--shards", "6", "--workers", "2",
+                "--fault-rate", "0.5", "--fault-seed", "7", "--retries", "0",
+            )
+        )
+        assert crash == 3
+        err = capsys.readouterr().err
+        assert "retry budget exhausted" in err
+        assert "--resume" in err  # operator hint
+        partial = load_manifest(tmp_path)
+        assert 0 < len(partial.shards) < 6
+
+        resume = main(
+            _shards("-o", str(tmp_path), "--shards", "6", "--workers", "2", "--resume", "--verify")
+        )
+        assert resume == 0
+        assert verify_shards(tmp_path).is_complete()
+
+    def test_resume_matches_clean_checksums(self, tmp_path):
+        main(
+            _shards(
+                "-o", str(tmp_path / "crash"), "--shards", "6",
+                "--fault-rate", "0.5", "--fault-seed", "7", "--retries", "0",
+            )
+        )
+        main(_shards("-o", str(tmp_path / "crash"), "--shards", "6", "--resume"))
+        main(_shards("-o", str(tmp_path / "clean"), "--shards", "6"))
+        a = load_manifest(tmp_path / "crash")
+        b = load_manifest(tmp_path / "clean")
+        assert {k: e.checksum for k, e in a.shards.items()} == {
+            k: e.checksum for k, e in b.shards.items()
+        }
+
+    def test_retries_flag_survives_faults(self, tmp_path):
+        rc = main(
+            _shards(
+                "-o", str(tmp_path), "--shards", "4", "--workers", "2",
+                "--fault-rate", "0.4", "--fault-seed", "5", "--retries", "8", "--verify",
+            )
+        )
+        assert rc == 0
+
+    def test_resume_heals_tamper_and_verify_catches_it(self, tmp_path):
+        from repro.parallel import ShardIntegrityError
+
+        main(_shards("-o", str(tmp_path), "--shards", "3"))
+        victim = tmp_path / "shard_0001.npz"
+        np.savez(str(victim)[: -len(".npz")], p=np.arange(3), q=np.arange(3))
+        with pytest.raises(ShardIntegrityError):
+            verify_shards(tmp_path)
+        # --resume reconciles against the manifest and regenerates the
+        # tampered shard; --verify then passes end to end.
+        rc = main(_shards("-o", str(tmp_path), "--shards", "3", "--resume", "--verify"))
+        assert rc == 0
+
+    def test_metrics_out_records_shard_run(self, tmp_path, capsys):
+        record_path = tmp_path / "run.json"
+        rc = main(
+            _shards(
+                "-o", str(tmp_path / "out"), "--shards", "3", "--workers", "1",
+                "--fault-rate", "0.5", "--fault-seed", "1", "--retries", "8",
+                "--metrics-out", str(record_path),
+            )
+        )
+        assert rc == 0
+        record = json.loads(record_path.read_text())
+        counters = record["metrics"]["counters"]
+        assert counters["parallel.generate.shards_total"] == 3
+        assert counters.get("parallel.generate.retries_total", 0) >= 1
+        span_names = {s["name"] for s in record["spans"]} | {
+            c["name"] for s in record["spans"] for c in s.get("children", [])
+        }
+        assert "cli.shards" in span_names
+
+    def test_manifest_name_constant(self, tmp_path):
+        main(_shards("-o", str(tmp_path), "--shards", "2"))
+        assert (tmp_path / MANIFEST_NAME).exists()
