@@ -1,0 +1,234 @@
+"""Bench ``kernels``: fused formula kernels vs. the legacy evaluation.
+
+The fused kernels (:mod:`repro.kronecker.kernels`) replace the
+term-by-term ``sp.kron`` evaluation (four full-size terms, a sparse
+sum, and an O(|E_C|) re-anchoring extraction) with one stacked integer
+matmul over the product's entry list, and replace scalar per-query
+oracle Python calls with vectorized batches.  This module measures
+both gaps and *verifies bit-identity in the same run* -- every speedup
+row only records after the fused output is checked equal to the legacy
+one.
+
+Run standalone: ``python benchmarks/bench_kernels.py``
+"""
+
+import os
+import tracemalloc
+
+import numpy as np
+
+from repro.kronecker import GroundTruthOracle, stream_edges
+from repro.kronecker.ground_truth import (
+    _edge_squares_product_kron,
+    _vertex_squares_from_stats,
+    _vertex_squares_from_stats_kron,
+    edge_squares_product,
+)
+from repro.kronecker.sampling import sample_edges
+from repro.utils.timing import Timer
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+ROUNDS = 1 if QUICK else 3
+
+
+def _best_of(fn, rounds=ROUNDS):
+    """(best_seconds, last_result) over ``rounds`` runs."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        with Timer() as t:
+            result = fn()
+        best = min(best, t.elapsed)
+    return best, result
+
+
+def _peak_bytes(fn):
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def test_edge_squares_product_fused_vs_legacy(unicode_product, record_bench):
+    bk = unicode_product
+    bk.factor_stats()  # shared setup out of both timings
+    t_fused, fused = _best_of(lambda: edge_squares_product(bk))
+    t_legacy, legacy = _best_of(lambda: _edge_squares_product_kron(bk))
+    # Bit-identity first; the speedup row only exists if this holds.
+    np.testing.assert_array_equal(fused.indptr, legacy.indptr)
+    np.testing.assert_array_equal(fused.indices, legacy.indices)
+    np.testing.assert_array_equal(fused.data, legacy.data)
+    mem_fused = _peak_bytes(lambda: edge_squares_product(bk))
+    mem_legacy = _peak_bytes(lambda: _edge_squares_product_kron(bk))
+    speedup = t_legacy / max(t_fused, 1e-9)
+    record_bench(
+        f"edge ◇ over {fused.nnz:,} entries: fused {t_fused:.3f}s / "
+        f"legacy {t_legacy:.3f}s = {speedup:.1f}x, peak mem "
+        f"{mem_fused / 2**20:.0f} vs {mem_legacy / 2**20:.0f} MiB, bit-identical",
+        entries=int(fused.nnz),
+        fused_seconds=t_fused,
+        legacy_seconds=t_legacy,
+        speedup=speedup,
+        fused_peak_bytes=mem_fused,
+        legacy_peak_bytes=mem_legacy,
+    )
+    if not QUICK:
+        assert speedup >= 3.0, f"fused edge kernel only {speedup:.2f}x faster"
+        assert mem_fused < mem_legacy
+
+
+def test_vertex_squares_fused_vs_legacy(unicode_product, record_bench):
+    stats_a, stats_b = unicode_product.factor_stats()
+    assumption = unicode_product.assumption
+    t_fused, fused = _best_of(
+        lambda: _vertex_squares_from_stats(stats_a, stats_b, assumption)
+    )
+    t_legacy, legacy = _best_of(
+        lambda: _vertex_squares_from_stats_kron(stats_a, stats_b, assumption)
+    )
+    np.testing.assert_array_equal(fused, legacy)
+    speedup = t_legacy / max(t_fused, 1e-9)
+    record_bench(
+        f"vertex s over {fused.size:,} vertices: fused {t_fused * 1e3:.1f}ms / "
+        f"legacy {t_legacy * 1e3:.1f}ms = {speedup:.1f}x, bit-identical",
+        vertices=int(fused.size),
+        fused_seconds=t_fused,
+        legacy_seconds=t_legacy,
+        speedup=speedup,
+    )
+    assert speedup > 0
+
+
+def _throughput_ratio(n_batch, t_batch, n_scalar, t_scalar):
+    return (n_batch / max(t_batch, 1e-9)) / (n_scalar / max(t_scalar, 1e-9))
+
+
+def test_batched_vs_scalar_vertex_queries(unicode_product, record_bench):
+    oracle = GroundTruthOracle(unicode_product)
+    rng = np.random.default_rng(0)
+    n_batch = min(200_000, 50 * unicode_product.n)
+    ps = rng.integers(0, unicode_product.n, n_batch)
+    scalar_ps = ps[: min(2_000, n_batch)]
+    t_batch, batched = _best_of(lambda: oracle.squares_at_vertices(ps))
+    t_scalar, scalar = _best_of(
+        lambda: [oracle.squares_at_vertex(int(p)) for p in scalar_ps]
+    )
+    np.testing.assert_array_equal(batched[: scalar_ps.size], np.array(scalar))
+    ratio = _throughput_ratio(ps.size, t_batch, scalar_ps.size, t_scalar)
+    record_bench(
+        f"{ps.size:,} batched vertex queries in {t_batch * 1e3:.1f}ms "
+        f"({ps.size / max(t_batch, 1e-9) / 1e6:.1f}M/s) = {ratio:.0f}x the "
+        f"scalar loop, values identical",
+        batch_queries=int(ps.size),
+        batch_seconds=t_batch,
+        scalar_queries=int(scalar_ps.size),
+        scalar_seconds=t_scalar,
+        throughput_ratio=ratio,
+    )
+    if not QUICK:
+        assert ratio >= 100.0, f"batched vertex queries only {ratio:.0f}x"
+
+
+def test_batched_vs_scalar_edge_queries(unicode_product, record_bench):
+    oracle = GroundTruthOracle(unicode_product)
+    n_batch = min(200_000, 25 * unicode_product.m)
+    p, q, expected = sample_edges(unicode_product, n_batch, seed=1, oracle=oracle)
+    scalar_n = min(2_000, p.size)
+    t_batch, batched = _best_of(lambda: oracle.squares_at_edges(p, q))
+    pairs = list(zip(p[:scalar_n].tolist(), q[:scalar_n].tolist()))
+    t_scalar, scalar = _best_of(
+        lambda: [oracle.squares_at_edge(a, b) for a, b in pairs]
+    )
+    np.testing.assert_array_equal(batched, expected)
+    np.testing.assert_array_equal(batched[:scalar_n], np.array(scalar))
+    ratio = _throughput_ratio(p.size, t_batch, scalar_n, t_scalar)
+    record_bench(
+        f"{p.size:,} batched edge queries in {t_batch * 1e3:.1f}ms "
+        f"({p.size / max(t_batch, 1e-9) / 1e6:.1f}M/s) = {ratio:.0f}x the "
+        f"scalar loop, values identical",
+        batch_queries=int(p.size),
+        batch_seconds=t_batch,
+        scalar_queries=int(scalar_n),
+        scalar_seconds=t_scalar,
+        throughput_ratio=ratio,
+    )
+    if not QUICK:
+        assert ratio >= 100.0, f"batched edge queries only {ratio:.0f}x"
+
+
+def test_chunked_stream_vs_default(unicode_like, record_bench):
+    # ``block_edges`` targets the regime the default block shape is worst
+    # at: a large left factor against a tiny right factor, where default
+    # blocks hold |E_B| entries each and per-block Python overhead
+    # dominates.  Chunking packs thousands of those micro-blocks into one
+    # yielded batch.
+    from repro.generators import path_graph
+    from repro.kronecker import Assumption, make_bipartite_product
+
+    bk = make_bipartite_product(
+        unicode_like, path_graph(2), Assumption.SELF_LOOPS_FACTOR,
+        require_connected=False,
+    )
+    bk.factor_stats()
+
+    def drain(block_edges):
+        total = blocks = 0
+        for block in stream_edges(bk, attach_ground_truth=True, block_edges=block_edges):
+            total += block[0].size
+            blocks += 1
+        return total, blocks
+
+    t_default, (n_default, blocks_default) = _best_of(lambda: drain(None))
+    t_chunked, (n_chunked, blocks_chunked) = _best_of(lambda: drain(1 << 18))
+    assert n_default == n_chunked
+    speedup = t_default / max(t_chunked, 1e-9)
+    record_bench(
+        f"ground-truth stream of {n_default:,} entries: default "
+        f"{blocks_default:,} micro-blocks {t_default:.3f}s / "
+        f"block_edges=262144 {blocks_chunked:,} blocks {t_chunked:.3f}s "
+        f"= {speedup:.2f}x",
+        entries=int(n_default),
+        default_blocks=int(blocks_default),
+        chunked_blocks=int(blocks_chunked),
+        default_seconds=t_default,
+        chunked_seconds=t_chunked,
+        speedup=speedup,
+    )
+    if not QUICK:
+        assert speedup >= 2.0, f"chunked stream only {speedup:.2f}x faster"
+
+
+def test_memory_footprint_bytes_vs_entries(unicode_product, record_bench):
+    oracle = GroundTruthOracle(unicode_product)
+    # Touch the derived caches so the byte count includes them honestly.
+    oracle.stats_a.edge_index
+    oracle.stats_b.edge_index
+    entries = oracle.memory_footprint_entries()
+    nbytes = oracle.memory_footprint_bytes()
+    product_entries = 2 * unicode_product.m
+    record_bench(
+        f"oracle stores {entries:,} entries / {nbytes / 2**20:.2f} MiB "
+        f"for a {product_entries:,}-entry product "
+        f"({product_entries / max(entries, 1):.0f}x compression)",
+        stored_entries=int(entries),
+        stored_bytes=int(nbytes),
+        product_entries=int(product_entries),
+    )
+    assert nbytes >= 8 * entries  # int64 fields alone account for this
+
+
+if __name__ == "__main__":
+    from repro.generators import konect_unicode_like
+    from repro.kronecker import Assumption, make_bipartite_product
+
+    A = konect_unicode_like()
+    bk = make_bipartite_product(A, A, Assumption.SELF_LOOPS_FACTOR, require_connected=False)
+    bk.factor_stats()
+    with Timer() as t_f:
+        fused = edge_squares_product(bk)
+    with Timer() as t_l:
+        _edge_squares_product_kron(bk)
+    print(f"edge ◇ fused {t_f.elapsed:.3f}s vs legacy {t_l.elapsed:.3f}s "
+          f"({t_l.elapsed / t_f.elapsed:.1f}x) over {fused.nnz:,} entries")

@@ -15,6 +15,9 @@ Layer map (paper section in parentheses):
   the 4-cycle formulas: Thm. 3/4 (vertices), Thm. 5 and our derived
   Assumption-1(ii) variant (edges), plus sublinear global counts
   (§III-B).
+* :mod:`~repro.kronecker.kernels` -- fused point-wise evaluation of
+  the Thm. 3/4/5 formulas on index batches: the hot core shared by
+  the formula, oracle, streaming, and parallel layers.
 * :mod:`~repro.kronecker.clustering` -- Def. 10 / Thm. 6 edge
   clustering scaling law (§III-B3).
 * :mod:`~repro.kronecker.community` -- Defs. 11-12, Thm. 7,
@@ -50,6 +53,17 @@ from repro.kronecker.connectivity import (
     predict_product_connectivity,
     weichsel_components,
 )
+from repro.kronecker.degrees import (
+    product_degree_histogram,
+    product_degree_summary,
+)
+from repro.kronecker.design import DesignTarget, design_product
+from repro.kronecker.distances import (
+    parity_distances,
+    product_diameter,
+    product_eccentricities,
+    product_hop_distance,
+)
 from repro.kronecker.ground_truth import (
     FactorStats,
     edge_squares_product,
@@ -57,46 +71,42 @@ from repro.kronecker.ground_truth import (
     squares_if_square_free_factors,
     vertex_squares_product,
 )
-from repro.kronecker.degrees import (
-    product_degree_histogram,
-    product_degree_summary,
-)
-from repro.kronecker.distances import (
-    parity_distances,
-    product_diameter,
-    product_eccentricities,
-    product_hop_distance,
+from repro.kronecker.kernels import (
+    EdgeIndex,
+    edge_squares_batch,
+    product_edge_squares_csr,
+    vertex_squares_batch,
+    vertex_squares_grid,
 )
 from repro.kronecker.multifactor import (
     combine_stats,
     multi_kronecker_global_squares,
     multi_kronecker_stats,
 )
-from repro.kronecker.design import DesignTarget, design_product
 from repro.kronecker.oracle import GroundTruthOracle
 from repro.kronecker.product import KroneckerProduct, kron_graph, kron_power
-from repro.kronecker.spectral import (
-    adjacency_spectrum,
-    bipartite_spectrum_symmetry,
-    product_spectral_radius,
-    product_spectrum,
-)
 from repro.kronecker.regions import (
     ground_truth_truss_region,
     triangle_free_edge_count,
     triangle_free_vertex_mask,
 )
 from repro.kronecker.sampling import sample_edges, sample_vertices
-from repro.kronecker.streaming import stream_edges, streamed_connectivity_audit
-from repro.kronecker.wings import (
-    certified_zero_wing_edges,
-    max_wing_upper_bound,
-    wing_upper_bounds,
+from repro.kronecker.spectral import (
+    adjacency_spectrum,
+    bipartite_spectrum_symmetry,
+    product_spectral_radius,
+    product_spectrum,
 )
+from repro.kronecker.streaming import stream_edges, streamed_connectivity_audit
 from repro.kronecker.triangles import (
     product_edge_triangles,
     product_global_triangles,
     product_vertex_triangles,
+)
+from repro.kronecker.wings import (
+    certified_zero_wing_edges,
+    max_wing_upper_bound,
+    wing_upper_bounds,
 )
 
 __all__ = [
@@ -114,6 +124,11 @@ __all__ = [
     "edge_squares_product",
     "global_squares_product",
     "squares_if_square_free_factors",
+    "EdgeIndex",
+    "edge_squares_batch",
+    "product_edge_squares_csr",
+    "vertex_squares_batch",
+    "vertex_squares_grid",
     "edge_clustering_ground_truth",
     "psi_factor",
     "thm6_lower_bound",

@@ -21,8 +21,8 @@ notes ``◇_pq`` is typically much larger than ``◇_ij ◇_kl``).
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
+from repro.kronecker import kernels
 from repro.kronecker.assumptions import Assumption, BipartiteKronecker
 from repro.kronecker.ground_truth import edge_squares_product
 
@@ -120,19 +120,21 @@ def thm6_lower_bound_self_loops(bk: BipartiteKronecker):
         empty = np.empty(0)
         return {"p": empty, "q": empty, "gamma_c": empty, "bound": empty, "ratio": empty}
     na, nb = ai.size, bk_row.size
-    I = np.repeat(ai, nb)
-    J = np.repeat(aj, nb)
-    K = np.tile(bk_row, na)
-    L = np.tile(bl, na)
-    GA = np.repeat(gamma_a, nb)
-    GB = np.tile(gamma_b, na)
-    psi = psi_factor_self_loops(d_a[I], d_a[J], d_b[K], d_b[L])
-    bound = psi * GA * GB
-    p = I * n_b + K
-    q = J * n_b + L
-    diamond_c = sp.csr_array(edge_squares_product(bk))
+    ii = np.repeat(ai, nb)
+    jj = np.repeat(aj, nb)
+    kk = np.tile(bk_row, na)
+    ll = np.tile(bl, na)
+    ga = np.repeat(gamma_a, nb)
+    gb = np.tile(gamma_b, na)
+    psi = psi_factor_self_loops(d_a[ii], d_a[jj], d_b[kk], d_b[ll])
+    bound = psi * ga * gb
+    p = ii * n_b + kk
+    q = jj * n_b + ll
+    # Ground-truth ◇_C at those edges, point-wise -- no product-sized
+    # matrix is materialized or fancy-indexed.
+    stats_a, stats_b = bk.factor_stats()
+    vals, _ = kernels.edge_squares_batch(stats_a, stats_b, bk.assumption, ii, jj, kk, ll)
     d_c = bk.implicit.degrees()
-    vals = np.asarray(diamond_c[p, q]).ravel()
     gamma_c = vals / ((d_c[p] - 1) * (d_c[q] - 1))
     with np.errstate(divide="ignore", invalid="ignore"):
         ratio = np.where(gamma_c > 0, bound / gamma_c, np.inf)
@@ -175,21 +177,22 @@ def thm6_lower_bound(bk: BipartiteKronecker):
 
     # All cross pairs of valid factor edges -> product edges.
     na, nb = ai.size, bk_row.size
-    I = np.repeat(ai, nb)
-    J = np.repeat(aj, nb)
-    K = np.tile(bk_row, na)
-    L = np.tile(bl, na)
-    GA = np.repeat(gamma_a, nb)
-    GB = np.tile(gamma_b, na)
-    psi = psi_factor(d_a[I], d_a[J], d_b[K], d_b[L])
-    bound = psi * GA * GB
-    p = I * n_b + K
-    q = J * n_b + L
+    ii = np.repeat(ai, nb)
+    jj = np.repeat(aj, nb)
+    kk = np.tile(bk_row, na)
+    ll = np.tile(bl, na)
+    ga = np.repeat(gamma_a, nb)
+    gb = np.tile(gamma_b, na)
+    psi = psi_factor(d_a[ii], d_a[jj], d_b[kk], d_b[ll])
+    bound = psi * ga * gb
+    p = ii * n_b + kk
+    q = jj * n_b + ll
 
-    # Ground-truth Γ_C at those edges from the product formula.
-    diamond_c = sp.csr_array(edge_squares_product(bk))
+    # Ground-truth Γ_C at those edges from the point-wise formula -- no
+    # product-sized matrix is materialized or fancy-indexed.
+    stats_a, stats_b = bk.factor_stats()
+    vals, _ = kernels.edge_squares_batch(stats_a, stats_b, bk.assumption, ii, jj, kk, ll)
     d_c = bk.implicit.degrees()
-    vals = np.asarray(diamond_c[p, q]).ravel()
     gamma_c = vals / ((d_c[p] - 1) * (d_c[q] - 1))
     with np.errstate(divide="ignore", invalid="ignore"):
         ratio = np.where(gamma_c > 0, bound / gamma_c, np.inf)

@@ -17,22 +17,20 @@ targets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.generators.classic import (
     complete_bipartite,
-    cycle_graph,
     grid_graph,
     path_graph,
     star_graph,
 )
 from repro.generators.scale_free import scale_free_bipartite_factor
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.graph import Graph
-from repro.kronecker.assumptions import Assumption, BipartiteKronecker, make_bipartite_product
+from repro.kronecker.assumptions import Assumption, BipartiteKronecker
 from repro.kronecker.ground_truth import FactorStats, _vertex_terms
 
 __all__ = ["DesignTarget", "DesignCandidate", "design_product", "default_factor_library"]

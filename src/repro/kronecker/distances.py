@@ -121,8 +121,8 @@ def _hops_from_tables(bk, table, p: int, q: int) -> int:
     kind, t1, t2, hops_b = table
     n_b = bk.B.graph.n
     i, k = divmod(p, n_b)
-    j, l = divmod(q, n_b)
-    h_b = hops_b[k, l]
+    j, ell = divmod(q, n_b)
+    h_b = hops_b[k, ell]
     if h_b < 0:
         return -1
     if kind == "lazy":

@@ -53,6 +53,7 @@ Point-wise versions of all four power the O(1)-per-query oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 import scipy.sparse as sp
@@ -63,7 +64,9 @@ from repro.analytics.fourcycles import (
     vertex_squares_matrix,
 )
 from repro.graphs.graph import Graph
+from repro.kronecker import kernels
 from repro.kronecker.assumptions import Assumption, BipartiteKronecker
+from repro.kronecker.kernels import EdgeIndex, vertex_terms as _vertex_terms
 
 __all__ = [
     "FactorStats",
@@ -112,38 +115,22 @@ class FactorStats:
         assert rem == 0
         return total
 
+    @cached_property
+    def edge_index(self) -> EdgeIndex:
+        """Derived-quantity cache: sorted edge keys plus edge-aligned
+        ``◇``/``W³``/degree arrays (:class:`~repro.kronecker.kernels.EdgeIndex`).
+
+        Memoized on the instance (``cached_property`` writes straight
+        into ``__dict__``, bypassing the frozen-dataclass guard), so
+        repeated formula, oracle, and streaming calls stop recomputing
+        the same sparse intermediates.
+        """
+        return EdgeIndex.from_stats(self)
+
 
 # ---------------------------------------------------------------------------
 # Vertex formulas (Thms. 3 and 4)
 # ---------------------------------------------------------------------------
-
-
-def _vertex_terms(stats_a: FactorStats, stats_b: FactorStats, assumption: Assumption):
-    """The four (left, right) vector pairs of the vertex formula.
-
-    Returns ``[(sign, left, right), ...]`` such that
-    ``s_C = (Σ sign * left ⊗ right) / 2``.
-    """
-    a, b = stats_a, stats_b
-    if assumption is Assumption.NON_BIPARTITE_FACTOR:
-        return [
-            (+1, a.cw4, b.cw4),
-            (-1, a.d * a.d, b.d * b.d),
-            (-1, a.w2, b.w2),
-            (+1, a.d, b.d),
-        ]
-    if assumption is Assumption.SELF_LOOPS_FACTOR:
-        ones = np.ones(a.n, dtype=np.int64)
-        cw4_m = 2 * a.s + a.d * a.d + a.w2 + 5 * a.d + ones  # diag((A+I)⁴), A bipartite
-        d_m = a.d + ones
-        w2_m = a.w2 + 2 * a.d + ones
-        return [
-            (+1, cw4_m, b.cw4),
-            (-1, d_m * d_m, b.d * b.d),
-            (-1, w2_m, b.w2),
-            (+1, d_m, b.d),
-        ]
-    raise ValueError(f"unknown assumption {assumption!r}")  # pragma: no cover
 
 
 def vertex_squares_product(bk: BipartiteKronecker) -> np.ndarray:
@@ -159,6 +146,20 @@ def vertex_squares_product(bk: BipartiteKronecker) -> np.ndarray:
 def _vertex_squares_from_stats(
     stats_a: FactorStats, stats_b: FactorStats, assumption: Assumption
 ) -> np.ndarray:
+    """Fused evaluation (:func:`~repro.kronecker.kernels.vertex_squares_grid`):
+    one stacked integer matmul instead of four summed ``np.kron`` terms."""
+    return kernels.vertex_squares_grid(stats_a, stats_b, assumption)
+
+
+def _vertex_squares_from_stats_kron(
+    stats_a: FactorStats, stats_b: FactorStats, assumption: Assumption
+) -> np.ndarray:
+    """Legacy term-by-term ``np.kron`` evaluation.
+
+    Kept as the independent reference implementation the property tests
+    and ``bench_kernels`` compare the fused kernel against (bit-identical
+    by construction: same int64 terms, different evaluation order).
+    """
     acc = np.zeros(stats_a.n * stats_b.n, dtype=np.int64)
     for sign, left, right in _vertex_terms(stats_a, stats_b, assumption):
         acc += sign * np.kron(left, right)
@@ -191,11 +192,16 @@ def global_squares_product(bk: BipartiteKronecker) -> int:
 
 
 def _w3_on_edges(stats: FactorStats) -> sp.csr_array:
-    """``X³ ∘ X = ◇ + (d 1ᵗ + 1 dᵗ) ∘ X - X`` from stored statistics."""
-    coo = stats.adj.tocoo()
-    vals = stats.d[coo.row] + stats.d[coo.col] - 1
-    corr = sp.coo_array((vals, (coo.row, coo.col)), shape=stats.adj.shape)
-    return sp.csr_array(stats.diamond + corr)
+    """``X³ ∘ X = ◇ + (d 1ᵗ + 1 dᵗ) ∘ X - X`` from stored statistics.
+
+    Served from the :class:`~repro.kronecker.kernels.EdgeIndex` cache:
+    the edge-aligned ``W³`` values already exist, so this is one sparse
+    assembly instead of a sparse addition per call.
+    """
+    idx = stats.edge_index
+    return sp.csr_array(
+        sp.coo_array((idx.w3, (idx.rows, idx.cols)), shape=stats.adj.shape)
+    )
 
 
 def _edge_terms(stats_a: FactorStats, stats_b: FactorStats, assumption: Assumption):
@@ -256,6 +262,33 @@ def edge_squares_product(bk: BipartiteKronecker) -> sp.csr_array:
     (explicit zeros kept for square-free edges).  Memory and time are
     ``O(|E_C|)`` -- linear in the product's edges, computed *without*
     ever forming ``C³``.
+
+    Fused evaluation
+    (:func:`~repro.kronecker.kernels.product_edge_squares_csr`): the
+    point-wise coefficient form is applied directly on the product's
+    entry list, so no intermediate ``sp.kron`` term and no re-anchoring
+    extraction is ever formed -- one value-block allocation instead of
+    ~5 full-size intermediates, values bit-identical to the legacy
+    term-by-term path (kept as :func:`_edge_squares_product_kron`).
+    """
+    stats_a, stats_b = bk.factor_stats()
+    m_coo = bk.M.adj.tocoo()
+    return kernels.product_edge_squares_csr(
+        stats_a,
+        stats_b,
+        bk.assumption,
+        m_coo.row.astype(np.int64),
+        m_coo.col.astype(np.int64),
+    )
+
+
+def _edge_squares_product_kron(bk: BipartiteKronecker) -> sp.csr_array:
+    """Legacy ``sp.kron`` term-sum evaluation of ``◇_C``.
+
+    Materializes the four Kronecker terms of Thm. 5 (or the derived
+    1(ii) set), sums them, and re-anchors onto the product adjacency
+    pattern.  Kept as the independent reference the property tests and
+    ``bench_kernels`` compare :func:`edge_squares_product` against.
     """
     stats_a, stats_b = bk.factor_stats()
     terms = _edge_terms(stats_a, stats_b, bk.assumption)

@@ -29,8 +29,9 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graphs.graph import Graph
+from repro.kronecker import kernels
 from repro.kronecker.assumptions import Assumption
-from repro.kronecker.ground_truth import FactorStats, _edge_terms, _vertex_terms
+from repro.kronecker.ground_truth import FactorStats, _vertex_terms
 
 __all__ = ["combine_stats", "multi_kronecker_stats", "multi_kronecker_global_squares"]
 
@@ -41,34 +42,25 @@ def combine_stats(stats_a: FactorStats, stats_b: FactorStats) -> FactorStats:
     Both inputs must describe loop-free graphs (enforced at
     ``FactorStats`` construction); the output describes the loop-free
     product.  No counting is performed on the product -- every field
-    comes from a closed form.
+    comes from a closed form, evaluated by the fused kernels
+    (:mod:`repro.kronecker.kernels`): the vertex vector is one stacked
+    matmul and the edge diamonds are built directly on the product
+    pattern, with no intermediate ``sp.kron`` term or re-anchoring
+    extraction.
     """
     n = stats_a.n * stats_b.n
     d = np.kron(stats_a.d, stats_b.d)
     w2 = np.kron(stats_a.w2, stats_b.w2)
-    # Vertex squares via the generic (Thm. 3) formula.
-    acc = np.zeros(n, dtype=np.int64)
-    for sign, left, right in _vertex_terms(stats_a, stats_b, Assumption.NON_BIPARTITE_FACTOR):
-        acc += sign * np.kron(left, right)
-    s, rem = np.divmod(acc, 2)
-    assert not rem.any()
+    # Vertex squares via the generic (Thm. 3) formula, fused.
+    s = kernels.vertex_squares_grid(stats_a, stats_b, Assumption.NON_BIPARTITE_FACTOR)
     cw4 = 2 * s + d * d + w2 - d
-    # Edge squares via the generic (Thm. 5) formula, re-anchored to the
-    # product adjacency pattern (explicit zeros preserved).
+    # Edge squares via the generic (Thm. 5) formula, fused on the
+    # product pattern (explicit zeros preserved).
     adj = sp.csr_array(sp.kron(stats_a.adj, stats_b.adj, format="csr"))
-    acc_m = None
-    for sign, left, right in _edge_terms(stats_a, stats_b, Assumption.NON_BIPARTITE_FACTOR):
-        part = sp.kron(left, right, format="csr")
-        acc_m = sign * part if acc_m is None else acc_m + sign * part
-    acc_m = sp.csr_array(acc_m)
-    pattern = adj.tocoo()
-    if pattern.nnz:
-        vals = np.asarray(acc_m[pattern.row, pattern.col]).ravel()
-        diamond = sp.csr_array(
-            sp.coo_array((vals, (pattern.row, pattern.col)), shape=adj.shape)
-        )
-    else:
-        diamond = sp.csr_array(adj.shape, dtype=np.int64)
+    idx_a = stats_a.edge_index
+    diamond = kernels.product_edge_squares_csr(
+        stats_a, stats_b, Assumption.NON_BIPARTITE_FACTOR, idx_a.rows, idx_a.cols
+    )
     return FactorStats(n=n, d=d, w2=w2, s=s, cw4=cw4, diamond=diamond, adj=adj)
 
 

@@ -97,8 +97,8 @@ class KroneckerProduct:
     def has_edge(self, p: int, q: int) -> bool:
         """Edge test via the entry identity ``C_pq = A_ij * B_kl``."""
         i, k = self.index.split(p)
-        j, l = self.index.split(q)
-        return self.A.has_edge(int(i), int(j)) and self.B.has_edge(int(k), int(l))
+        j, ell = self.index.split(q)
+        return self.A.has_edge(int(i), int(j)) and self.B.has_edge(int(k), int(ell))
 
     def neighbors(self, p: int) -> np.ndarray:
         """Sorted neighbour list of product vertex ``p``.

@@ -23,8 +23,8 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.kronecker.assumptions import Assumption, BipartiteKronecker
-from repro.kronecker.ground_truth import FactorStats, _w3_on_edges
+from repro.kronecker import kernels
+from repro.kronecker.assumptions import BipartiteKronecker
 from repro.obs import get_metrics, get_tracer
 
 __all__ = ["stream_edges", "streamed_connectivity_audit"]
@@ -33,13 +33,23 @@ __all__ = ["stream_edges", "streamed_connectivity_audit"]
 def stream_edges(
     bk: BipartiteKronecker,
     attach_ground_truth: bool = False,
+    block_edges: int | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, np.ndarray, np.ndarray]]:
-    """Yield the product's directed edges in per-``M``-entry blocks.
+    """Yield the product's directed edges in factor-edge-sized blocks.
 
     Yields ``(p, q)`` index-array pairs -- or ``(p, q, diamonds)``
-    triples when ``attach_ground_truth`` -- one block per stored entry
-    of the effective left factor ``M``.  Memory per block is
-    ``O(nnz(B))``.
+    triples when ``attach_ground_truth``.  By default one block is
+    emitted per stored entry of the effective left factor ``M``
+    (memory per block ``O(nnz(B))``).
+
+    ``block_edges`` coalesces many small per-``M``-entry blocks into
+    chunks of roughly that many edges, for the large-``M`` ⊗ small-``B``
+    regime where per-block Python overhead dominates.  Coefficient
+    lookups are hoisted out of the loop and each chunk's diamonds come
+    from one ``np.matmul`` into a preallocated buffer.  **Buffer-reuse
+    contract:** with ``block_edges`` set, the yielded arrays are views
+    into reused buffers, invalidated by the next iteration -- copy them
+    (e.g. boolean-index or ``.copy()``) before retaining.
     """
     M = bk.M
     B = bk.B.graph
@@ -47,6 +57,7 @@ def stream_edges(
     b_coo = B.adj.tocoo()
     bk_rows = b_coo.row.astype(np.int64)
     bk_cols = b_coo.col.astype(np.int64)
+    nnz_b = bk_rows.size
 
     # Per-block accounting, gated on one boolean so the disabled path
     # pays a single branch per block (the plain stream emits a block in
@@ -58,18 +69,63 @@ def stream_edges(
         blocks_streamed = metrics.counter("stream.blocks_total")
         block_bytes = metrics.histogram("stream.block_size_bytes")
 
+    m_coo = M.adj.tocoo()
+    m_rows = m_coo.row.astype(np.int64)
+    m_cols = m_coo.col.astype(np.int64)
+
     if attach_ground_truth:
+        # Loop-invariant lookups, hoisted: the per-entry left-factor
+        # coefficients (α, β_i, β_j -- kernels module docstring) and the
+        # edge-aligned right-factor arrays, computed once for the whole
+        # stream instead of once per block.
         with get_tracer().span("stream.setup_ground_truth"):
             stats_a, stats_b = bk.factor_stats()
-            with_loops = bk.assumption is Assumption.SELF_LOOPS_FACTOR
-            d_b = stats_b.d
-            w3_b = np.asarray(_w3_on_edges(stats_b)[bk_rows, bk_cols]).ravel()
-            d_a = stats_a.d
+            alpha, beta_i, beta_j, _ = kernels.edge_coefficients(
+                stats_a, bk.assumption, m_rows, m_cols
+            )
+            d_k = stats_b.d[bk_rows]
+            d_l = stats_b.d[bk_cols]
+            _, dia_b = stats_b.edge_index.diamond_at(bk_rows, bk_cols)
+            w3_b = dia_b + d_k + d_l - 1
+            neg_d_k = -d_k
+            neg_d_l = -d_l
 
-    m_coo = M.adj.tocoo()
-    for i, j in zip(m_coo.row.tolist(), m_coo.col.tolist()):
-        p = i * n_b + bk_rows
-        q = j * n_b + bk_cols
+    if block_edges is not None and nnz_b > 0:
+        # Chunked path: `per_chunk` M entries per yielded block, with
+        # preallocated index/value buffers reused across iterations.
+        per_chunk = max(1, int(block_edges) // nnz_b)
+        p_buf = np.empty((per_chunk, nnz_b), dtype=np.int64)
+        q_buf = np.empty((per_chunk, nnz_b), dtype=np.int64)
+        if attach_ground_truth:
+            dia_buf = np.empty((per_chunk, nnz_b), dtype=np.int64)
+            right = np.stack((w3_b, neg_d_k, neg_d_l))  # (3, nnz_B)
+        for t0 in range(0, m_rows.size, per_chunk):
+            t1 = min(t0 + per_chunk, m_rows.size)
+            cnt = t1 - t0
+            np.add(m_rows[t0:t1, None] * n_b, bk_rows, out=p_buf[:cnt])
+            np.add(m_cols[t0:t1, None] * n_b, bk_cols, out=q_buf[:cnt])
+            p = p_buf[:cnt].reshape(-1)
+            q = q_buf[:cnt].reshape(-1)
+            if tracking:
+                edges_streamed.inc(p.size)
+                blocks_streamed.inc()
+            if not attach_ground_truth:
+                if tracking:
+                    block_bytes.observe(p.nbytes + q.nbytes)
+                yield p, q
+                continue
+            left = np.stack((alpha[t0:t1], beta_i[t0:t1], beta_j[t0:t1]))
+            np.matmul(left.T, right, out=dia_buf[:cnt])
+            dia_buf[:cnt] += 1
+            dia = dia_buf[:cnt].reshape(-1)
+            if tracking:
+                block_bytes.observe(p.nbytes + q.nbytes + dia.nbytes)
+            yield p, q, dia
+        return
+
+    for t in range(m_rows.size):
+        p = m_rows[t] * n_b + bk_rows
+        q = m_cols[t] * n_b + bk_cols
         if tracking:
             edges_streamed.inc(p.size)
             blocks_streamed.inc()
@@ -78,28 +134,10 @@ def stream_edges(
                 block_bytes.observe(p.nbytes + q.nbytes)
             yield p, q
             continue
-        d_k = d_b[bk_rows]
-        d_l = d_b[bk_cols]
-        if with_loops and i == j:
-            dia = 1 + (3 * d_a[i] + 1) * w3_b - (d_a[i] + 1) * (d_k + d_l)
-        else:
-            dia_a = _csr_lookup(stats_a.diamond, i, j)
-            if with_loops:
-                dia = 1 + (dia_a + d_a[i] + d_a[j] + 2) * w3_b - (d_a[i] + 1) * d_k - (d_a[j] + 1) * d_l
-            else:
-                dia = 1 + (dia_a + d_a[i] + d_a[j] - 1) * w3_b - d_a[i] * d_k - d_a[j] * d_l
+        dia = 1 + alpha[t] * w3_b + beta_i[t] * neg_d_k + beta_j[t] * neg_d_l
         if tracking:
-            block_bytes.observe(p.nbytes + q.nbytes + np.asarray(dia).nbytes)
+            block_bytes.observe(p.nbytes + q.nbytes + dia.nbytes)
         yield p, q, dia
-
-
-def _csr_lookup(csr, i: int, j: int) -> int:
-    """Entry (i, j) of a canonical CSR matrix (0 when absent)."""
-    row = csr.indices[csr.indptr[i] : csr.indptr[i + 1]]
-    pos = np.searchsorted(row, j)
-    if pos < row.size and row[pos] == j:
-        return int(csr.data[csr.indptr[i] + pos])
-    return 0
 
 
 def streamed_connectivity_audit(bk: BipartiteKronecker) -> tuple[int, int]:

@@ -1,0 +1,242 @@
+"""Property suites for the fused ground-truth kernels.
+
+The fused kernels (:mod:`repro.kronecker.kernels`) claim *bit-identical*
+values to the legacy term-by-term ``sp.kron`` evaluation they replace
+(exact int64 arithmetic, different evaluation order).  Hypothesis drives
+random factor pairs through both assumption regimes; the deterministic
+corpora cover empty and degenerate patterns.  The batched oracle APIs
+are checked against the scalar query loop, including error masking.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.graph import Graph
+from repro.kronecker import (
+    Assumption,
+    FactorStats,
+    GroundTruthOracle,
+    combine_stats,
+    make_bipartite_product,
+    stream_edges,
+)
+from repro.kronecker.ground_truth import (
+    _edge_squares_product_kron,
+    _vertex_squares_from_stats,
+    _vertex_squares_from_stats_kron,
+    edge_squares_product,
+)
+
+from tests.strategies import (
+    connected_bipartite_graphs,
+    connected_nonbipartite_graphs,
+    small_graph_corpus,
+)
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+BOTH_ASSUMPTIONS = [Assumption.NON_BIPARTITE_FACTOR, Assumption.SELF_LOOPS_FACTOR]
+
+
+def _assert_csr_bit_identical(fused, legacy):
+    assert fused.shape == legacy.shape
+    assert fused.dtype == legacy.dtype
+    np.testing.assert_array_equal(fused.indptr, legacy.indptr)
+    np.testing.assert_array_equal(fused.indices, legacy.indices)
+    np.testing.assert_array_equal(fused.data, legacy.data)
+
+
+# ---------------------------------------------------------------------------
+# Fused whole-product formulas == legacy sp.kron evaluation
+# ---------------------------------------------------------------------------
+
+
+@given(A=connected_nonbipartite_graphs(max_n=5), B=connected_bipartite_graphs(max_side=3))
+@SETTINGS
+def test_fused_formulas_match_kron_assumption_i(A, B):
+    bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+    stats_a, stats_b = bk.factor_stats()
+    np.testing.assert_array_equal(
+        _vertex_squares_from_stats(stats_a, stats_b, bk.assumption),
+        _vertex_squares_from_stats_kron(stats_a, stats_b, bk.assumption),
+    )
+    _assert_csr_bit_identical(edge_squares_product(bk), _edge_squares_product_kron(bk))
+
+
+@given(A=connected_bipartite_graphs(max_side=3), B=connected_bipartite_graphs(max_side=3))
+@SETTINGS
+def test_fused_formulas_match_kron_assumption_ii(A, B):
+    bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+    stats_a, stats_b = bk.factor_stats()
+    np.testing.assert_array_equal(
+        _vertex_squares_from_stats(stats_a, stats_b, bk.assumption),
+        _vertex_squares_from_stats_kron(stats_a, stats_b, bk.assumption),
+    )
+    _assert_csr_bit_identical(edge_squares_product(bk), _edge_squares_product_kron(bk))
+
+
+@pytest.mark.parametrize("assumption", BOTH_ASSUMPTIONS)
+def test_fused_vertex_grid_on_degenerate_corpus(assumption):
+    """Empty / disconnected / trivial patterns, both assumption formulas.
+
+    The comparison is evaluation-order identity on arbitrary loop-free
+    stats pairs (the legacy path accepts them too), so validation rules
+    about parity/connectivity don't apply here.
+    """
+    corpus = [FactorStats.from_graph(g) for g in small_graph_corpus()]
+    for stats_a in corpus:
+        for stats_b in corpus:
+            np.testing.assert_array_equal(
+                _vertex_squares_from_stats(stats_a, stats_b, assumption),
+                _vertex_squares_from_stats_kron(stats_a, stats_b, assumption),
+            )
+
+
+def test_fused_edge_product_empty_pattern():
+    empty = FactorStats.from_graph(Graph.empty(3))
+    from repro.kronecker import product_edge_squares_csr
+
+    out = product_edge_squares_csr(
+        empty,
+        empty,
+        Assumption.NON_BIPARTITE_FACTOR,
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
+    assert out.shape == (9, 9)
+    assert out.nnz == 0
+    assert out.dtype == np.int64
+
+
+@given(A=connected_nonbipartite_graphs(max_n=4), B=connected_nonbipartite_graphs(max_n=4))
+@SETTINGS
+def test_combine_stats_matches_materialized_product(A, B):
+    """The fused multi-factor fold still equals stats counted directly
+    on the materialized product."""
+    import scipy.sparse as sp
+
+    combined = combine_stats(FactorStats.from_graph(A), FactorStats.from_graph(B))
+    product = Graph(sp.csr_array(sp.kron(A.adj, B.adj, format="csr")))
+    direct = FactorStats.from_graph(product)
+    np.testing.assert_array_equal(combined.d, direct.d)
+    np.testing.assert_array_equal(combined.w2, direct.w2)
+    np.testing.assert_array_equal(combined.s, direct.s)
+    np.testing.assert_array_equal(combined.cw4, direct.cw4)
+    _assert_csr_bit_identical(combined.diamond, sp.csr_array(direct.diamond))
+
+
+# ---------------------------------------------------------------------------
+# Batched oracle queries == scalar query loop
+# ---------------------------------------------------------------------------
+
+
+def _oracle_pairs(bk, rng, n_pairs=60):
+    """A mix of true product edges and random (mostly invalid) pairs."""
+    C = bk.materialize()
+    u, v = C.edge_arrays()
+    take = rng.integers(0, u.size, min(n_pairs, u.size))
+    ps = np.concatenate([u[take], rng.integers(0, bk.n, n_pairs)])
+    qs = np.concatenate([v[take], rng.integers(0, bk.n, n_pairs)])
+    return ps.astype(np.int64), qs.astype(np.int64)
+
+
+@given(A=connected_nonbipartite_graphs(max_n=4), B=connected_bipartite_graphs(max_side=3))
+@SETTINGS
+def test_batched_oracle_matches_scalar_assumption_i(A, B):
+    _check_batched_oracle(make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR))
+
+
+@given(A=connected_bipartite_graphs(max_side=3), B=connected_bipartite_graphs(max_side=3))
+@SETTINGS
+def test_batched_oracle_matches_scalar_assumption_ii(A, B):
+    _check_batched_oracle(make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR))
+
+
+def _check_batched_oracle(bk):
+    oracle = GroundTruthOracle(bk)
+    rng = np.random.default_rng(bk.n)
+    ps = rng.integers(0, bk.n, 50).astype(np.int64)
+
+    np.testing.assert_array_equal(
+        oracle.degrees(ps), np.array([oracle.degree(int(p)) for p in ps])
+    )
+    np.testing.assert_array_equal(
+        oracle.squares_at_vertices(ps),
+        np.array([oracle.squares_at_vertex(int(p)) for p in ps]),
+    )
+
+    eps, eqs = _oracle_pairs(bk, rng)
+    has = oracle.has_edges(eps, eqs)
+    np.testing.assert_array_equal(
+        has, np.array([oracle.has_edge(int(p), int(q)) for p, q in zip(eps, eqs)])
+    )
+    masked = oracle.squares_at_edges(eps, eqs, on_invalid="mask")
+    for p, q, got, is_edge in zip(eps.tolist(), eqs.tolist(), masked.tolist(), has.tolist()):
+        if is_edge:
+            assert got == oracle.squares_at_edge(p, q)
+        else:
+            assert got == -1
+            with pytest.raises(ValueError):
+                oracle.squares_at_edge(p, q)
+    # Raise mode mirrors the scalar contract for whole batches.
+    if has.all():
+        np.testing.assert_array_equal(oracle.squares_at_edges(eps, eqs), masked)
+    else:
+        with pytest.raises(ValueError, match="not an edge"):
+            oracle.squares_at_edges(eps, eqs)
+
+
+def test_batched_oracle_index_errors():
+    f = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])  # C4, bipartite
+    bk = make_bipartite_product(f, f, Assumption.SELF_LOOPS_FACTOR)
+    oracle = GroundTruthOracle(bk)
+    with pytest.raises(IndexError):
+        oracle.degrees(np.array([0, bk.n]))
+    with pytest.raises(IndexError):
+        oracle.squares_at_vertices(np.array([-1]))
+    with pytest.raises(ValueError, match="on_invalid"):
+        oracle.squares_at_edges(np.array([0]), np.array([1]), on_invalid="zero")
+    with pytest.raises(ValueError, match="shape"):
+        oracle.has_edges(np.array([0, 1]), np.array([1]))
+
+
+def test_memory_footprint_bytes_counts_caches():
+    f = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    bk = make_bipartite_product(f, f, Assumption.SELF_LOOPS_FACTOR)
+    oracle = GroundTruthOracle(bk)
+    base = oracle.memory_footprint_bytes()
+    assert base > 0
+    # Materializing the derived EdgeIndex caches grows the honest count.
+    oracle.stats_a.edge_index
+    oracle.stats_b.edge_index
+    assert oracle.memory_footprint_bytes() > base
+    assert oracle.memory_footprint_entries() > 0
+
+
+# ---------------------------------------------------------------------------
+# Chunked streaming == default streaming
+# ---------------------------------------------------------------------------
+
+
+@given(A=connected_bipartite_graphs(max_side=3), B=connected_bipartite_graphs(max_side=3))
+@SETTINGS
+def test_chunked_stream_matches_default(A, B):
+    bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+    for block_edges in (1, 7, 10**6):
+        for attach in (False, True):
+            default = [
+                tuple(np.asarray(a).copy() for a in block)
+                for block in stream_edges(bk, attach_ground_truth=attach)
+            ]
+            chunked = [
+                tuple(np.asarray(a).copy() for a in block)
+                for block in stream_edges(
+                    bk, attach_ground_truth=attach, block_edges=block_edges
+                )
+            ]
+            flat_default = [np.concatenate(cols) for cols in zip(*default)]
+            flat_chunked = [np.concatenate(cols) for cols in zip(*chunked)]
+            assert len(flat_default) == len(flat_chunked)
+            for d, c in zip(flat_default, flat_chunked):
+                np.testing.assert_array_equal(d, c)
