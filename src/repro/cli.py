@@ -14,6 +14,11 @@ Wraps the library's three workflows for shell users:
   a crash, bounded ``--retries`` with backoff, deterministic
   ``--fault-rate`` injection for drills, and ``--verify`` end-to-end
   checksum validation (see docs/fault_tolerance.md).
+* ``verify`` -- differential verification: cross-check fused kernels,
+  legacy ``sp.kron`` paths, oracle and streaming against the
+  brute-force referee in :mod:`repro.refcheck` over seeded random and
+  adversarial factor corpora; exits 4 on any divergence and can write
+  the machine-readable witness report (``--report-out``).
 * ``table1`` / ``fig5`` -- regenerate the §IV artifacts.
 
 Factor specification mini-language (``FACTOR`` arguments)::
@@ -264,6 +269,25 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.refcheck import run_verification
+
+    report = run_verification(
+        seed=args.seed,
+        trials=args.trials,
+        max_factor_size=args.max_factor_size,
+        assumption=args.assumption,
+        include_adversarial=not args.no_adversarial,
+        include_chains=not args.no_chains,
+        perturb=args.perturb,
+    )
+    print(report.format())
+    if args.report_out:
+        report.write(args.report_out)
+        print(f"wrote divergence report to {args.report_out}", file=sys.stderr)
+    return 0 if report.passed else 4
+
+
 def _cmd_table1(args) -> int:
     from repro.experiments import table1_unicode
 
@@ -404,6 +428,58 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--diameter", action="store_true", help="also compute the exact diameter")
     s.add_argument("--check", action="store_true", help="materialize and verify (small products)")
     s.set_defaults(fn=_cmd_stats)
+
+    v = sub.add_parser(
+        "verify",
+        help="differential verification against a brute-force referee (exit 4 on divergence)",
+    )
+    v.add_argument("--seed", type=int, default=0, help="seed for the random factor corpus")
+    v.add_argument(
+        "--trials", type=int, default=50, help="number of seeded random factor pairs"
+    )
+    v.add_argument(
+        "--max-factor-size",
+        type=int,
+        default=6,
+        metavar="N",
+        help="cap on factor vertex counts (the brute-force referee is "
+        "quadratic in the product size; keep this small)",
+    )
+    v.add_argument(
+        "--assumption",
+        choices=["i", "ii", "both"],
+        default="both",
+        help="which Assumption-1 regimes to draw factor pairs under",
+    )
+    v.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="write the machine-readable JSON divergence report to PATH",
+    )
+    v.add_argument(
+        "--perturb",
+        choices=["none", "beta-sign"],
+        default="none",
+        help="deliberately corrupt the fused formulas for the run "
+        "(engine self-test: the corruption must be caught, exit 4)",
+    )
+    v.add_argument(
+        "--no-adversarial", action="store_true", help="skip the adversarial corpora"
+    )
+    v.add_argument(
+        "--no-chains", action="store_true", help="skip the multi-factor chain checks"
+    )
+    v.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace spans + metrics and print the run summary to stderr",
+    )
+    v.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the machine-readable JSON run record to PATH",
+    )
+    v.set_defaults(fn=_cmd_verify)
 
     t = sub.add_parser("table1", help="regenerate the paper's Table I")
     t.add_argument("--factor", help="factor spec (default: konect-unicode stand-in)")

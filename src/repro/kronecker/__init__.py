@@ -67,9 +67,11 @@ from repro.kronecker.distances import (
 from repro.kronecker.ground_truth import (
     FactorStats,
     edge_squares_product,
+    edge_squares_product_reference,
     global_squares_product,
     squares_if_square_free_factors,
     vertex_squares_product,
+    vertex_squares_product_reference,
 )
 from repro.kronecker.kernels import (
     EdgeIndex,
@@ -121,7 +123,9 @@ __all__ = [
     "weichsel_components",
     "FactorStats",
     "vertex_squares_product",
+    "vertex_squares_product_reference",
     "edge_squares_product",
+    "edge_squares_product_reference",
     "global_squares_product",
     "squares_if_square_free_factors",
     "EdgeIndex",

@@ -71,7 +71,9 @@ from repro.kronecker.kernels import EdgeIndex, vertex_terms as _vertex_terms
 __all__ = [
     "FactorStats",
     "vertex_squares_product",
+    "vertex_squares_product_reference",
     "edge_squares_product",
+    "edge_squares_product_reference",
     "global_squares_product",
     "squares_if_square_free_factors",
 ]
@@ -308,6 +310,32 @@ def _edge_squares_product_kron(bk: BipartiteKronecker) -> sp.csr_array:
     return sp.csr_array(
         sp.coo_array((vals, (pattern.row, pattern.col)), shape=pattern.shape)
     )
+
+
+# ---------------------------------------------------------------------------
+# Public reference-path hooks
+# ---------------------------------------------------------------------------
+
+
+def vertex_squares_product_reference(bk: BipartiteKronecker) -> np.ndarray:
+    """``s_C`` via the legacy term-by-term ``np.kron`` path.
+
+    Public hook for the differential verifier
+    (:mod:`repro.refcheck.differ`): same closed forms as
+    :func:`vertex_squares_product` but a disjoint evaluation route, so
+    fused-kernel regressions show up as a divergence between the two.
+    """
+    stats_a, stats_b = bk.factor_stats()
+    return _vertex_squares_from_stats_kron(stats_a, stats_b, bk.assumption)
+
+
+def edge_squares_product_reference(bk: BipartiteKronecker) -> sp.csr_array:
+    """``◇_C`` via the legacy ``sp.kron`` term-sum path.
+
+    Public hook for the differential verifier; see
+    :func:`vertex_squares_product_reference`.
+    """
+    return _edge_squares_product_kron(bk)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,61 @@
+"""Derivation-independent verification of the ground-truth layer.
+
+Every production path in :mod:`repro.kronecker` — fused kernels, legacy
+``sp.kron`` term sums, the oracle, streaming — descends from the same
+closed-walk algebra, so bit-identity checks between them cannot catch a
+shared derivation bug.  This package supplies the missing referee and
+the machinery around it:
+
+* :mod:`repro.refcheck.brute` — brute-force counters by direct cycle
+  enumeration on the materialized product (never imports the formulas);
+* :mod:`repro.refcheck.corpus` — seeded random and adversarial factor
+  corpora, plus multi-factor chains;
+* :mod:`repro.refcheck.differ` — the differential engine behind
+  ``repro verify``: every implementation vs. brute force, divergences
+  reported as machine-readable witnesses;
+* :mod:`repro.refcheck.metamorphic` — referee-free relations
+  (relabeling invariance, factor-swap symmetry, edge-deletion
+  monotonicity, tiling consistency) for the Hypothesis fleet.
+"""
+
+from repro.refcheck.corpus import (
+    VerifyCase,
+    adversarial_cases,
+    chain_cases,
+    graph_from_spec,
+    random_cases,
+)
+from repro.refcheck.differ import (
+    PERTURBATIONS,
+    DivergenceWitness,
+    VerifyReport,
+    resolve_assumptions,
+    run_verification,
+)
+from repro.refcheck.metamorphic import (
+    MetamorphicViolation,
+    check_edge_deletion_monotonicity,
+    check_edge_sum_consistency,
+    check_factor_swap_vertex_symmetry,
+    check_relabel_invariance,
+    check_vertex_sum_consistency,
+)
+
+__all__ = [
+    "VerifyCase",
+    "adversarial_cases",
+    "chain_cases",
+    "graph_from_spec",
+    "random_cases",
+    "PERTURBATIONS",
+    "DivergenceWitness",
+    "VerifyReport",
+    "resolve_assumptions",
+    "run_verification",
+    "MetamorphicViolation",
+    "check_edge_deletion_monotonicity",
+    "check_edge_sum_consistency",
+    "check_factor_swap_vertex_symmetry",
+    "check_relabel_invariance",
+    "check_vertex_sum_consistency",
+]

@@ -1,0 +1,206 @@
+"""Factor corpora for the differential verification engine.
+
+Two sources of factor pairs, both deterministic given a seed:
+
+* :func:`random_cases` — seeded random connected factors under
+  Assumption 1(i) (non-bipartite ``A``) and 1(ii) (bipartite ``A``),
+  grown constructively (attachment spanning structure + extra edges)
+  so no draw is wasted on invalid parity;
+* :func:`adversarial_cases` — the hand-picked shapes that historically
+  break counters: stars (degree-1 fringes), paths (no squares at all),
+  complete bipartite blocks (dense ◇), degenerate/empty factors,
+  isolated vertices, disconnected matchings, single-edge products.
+
+:func:`chain_cases` supplies multi-factor chains for the
+``combine_stats`` fold, which the differ checks against brute force on
+the fully materialized chain product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.generators.classic import (
+    complete_bipartite,
+    complete_graph,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+from repro.graphs.graph import Graph
+from repro.kronecker.assumptions import Assumption
+
+__all__ = [
+    "VerifyCase",
+    "random_bipartite_factor",
+    "random_nonbipartite_factor",
+    "random_cases",
+    "adversarial_cases",
+    "chain_cases",
+]
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One factor pair to push through every implementation."""
+
+    label: str
+    assumption: Assumption
+    A: Graph
+    B: Graph
+
+    def spec(self) -> dict:
+        """JSON-ready reproduction spec (factor edge lists + sizes)."""
+        return {
+            "label": self.label,
+            "assumption": self.assumption.value,
+            "A": _graph_spec(self.A),
+            "B": _graph_spec(self.B),
+        }
+
+
+def _graph_spec(graph: Graph) -> dict:
+    u, v = graph.edge_arrays()
+    return {"n": graph.n, "edges": [[int(a), int(b)] for a, b in zip(u, v)]}
+
+
+def graph_from_spec(spec: dict) -> Graph:
+    """Rebuild a factor from a witness spec (for reproduction runs)."""
+    return Graph.from_edges(int(spec["n"]), [tuple(e) for e in spec["edges"]])
+
+
+# ---------------------------------------------------------------------------
+# Seeded random factors (constructive, no rejection)
+# ---------------------------------------------------------------------------
+
+
+def random_bipartite_factor(rng: np.random.Generator, max_side: int) -> Graph:
+    """Connected bipartite loop-free graph, parts ``0..nu-1`` / ``nu..``.
+
+    Spanning structure: vertices are inserted one at a time, each
+    attaching to a uniformly random *already-inserted* vertex of the
+    other part; extra cross edges are then sprinkled in.
+    """
+    nu = int(rng.integers(1, max_side + 1))
+    nw = int(rng.integers(1, max_side + 1))
+    edges = set()
+    inserted_u = [0]
+    inserted_w: List[int] = []
+    pending = [("w", k) for k in range(nw)] + [("u", i) for i in range(1, nu)]
+    pending.sort(key=lambda t: (t[1], t[0]))
+    for side, idx in pending:
+        if side == "w":
+            u = inserted_u[int(rng.integers(0, len(inserted_u)))]
+            edges.add((u, nu + idx))
+            inserted_w.append(idx)
+        else:
+            w = inserted_w[int(rng.integers(0, len(inserted_w)))]
+            edges.add((idx, nu + w))
+            inserted_u.append(idx)
+    for i in range(nu):
+        for k in range(nw):
+            if (i, nu + k) not in edges and rng.random() < 0.3:
+                edges.add((i, nu + k))
+    return Graph.from_edges(nu + nw, sorted(edges))
+
+
+def random_nonbipartite_factor(rng: np.random.Generator, max_n: int) -> Graph:
+    """Connected loop-free graph guaranteed to contain a triangle."""
+    n = int(rng.integers(3, max(max_n, 3) + 1))
+    edges = {(0, 1), (1, 2), (0, 2)}
+    for v in range(1, n):
+        edges.add((int(rng.integers(0, v)), v))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) not in edges and rng.random() < 0.25:
+                edges.add((i, j))
+    return Graph.from_edges(n, sorted(edges))
+
+
+def random_cases(
+    seed: int,
+    trials: int,
+    max_factor_size: int,
+    assumptions: Sequence[Assumption],
+) -> List[VerifyCase]:
+    """``trials`` seeded random factor pairs, alternating assumptions.
+
+    ``max_factor_size`` bounds the non-bipartite factor's vertex count
+    and each bipartite factor's side, keeping the materialized product
+    small enough for the brute-force referee.
+    """
+    rng = np.random.default_rng(seed)
+    max_side = max(1, max_factor_size // 2)
+    cases = []
+    for t in range(trials):
+        assumption = assumptions[t % len(assumptions)]
+        if assumption is Assumption.NON_BIPARTITE_FACTOR:
+            A = random_nonbipartite_factor(rng, max_factor_size)
+        else:
+            A = random_bipartite_factor(rng, max_side)
+        B = random_bipartite_factor(rng, max_side)
+        cases.append(VerifyCase(f"random[{t}]", assumption, A, B))
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Adversarial deterministic corpora
+# ---------------------------------------------------------------------------
+
+
+def adversarial_cases(assumptions: Sequence[Assumption]) -> List[VerifyCase]:
+    """Hand-picked shapes that historically expose counter bugs.
+
+    Disconnected and empty factors are included on purpose: the count
+    formulas hold without the connectivity half of Assumption 1, and
+    the differ builds these products with ``require_connected=False``.
+    """
+    single_edge = path_graph(2)
+    isolated = Graph.from_edges(3, [(0, 1)])  # one edge + isolated vertex
+    matching = Graph.from_edges(4, [(0, 1), (2, 3)])
+    cases: List[VerifyCase] = []
+    a_i = Assumption.NON_BIPARTITE_FACTOR
+    a_ii = Assumption.SELF_LOOPS_FACTOR
+    if a_i in assumptions:
+        tri = complete_graph(3)
+        cases += [
+            VerifyCase("adv-i/star-right", a_i, tri, star_graph(4)),
+            VerifyCase("adv-i/path-right", a_i, tri, path_graph(5)),
+            VerifyCase("adv-i/biclique-right", a_i, complete_graph(4),
+                       complete_bipartite(2, 3).graph),
+            VerifyCase("adv-i/wheel-left", a_i, wheel_graph(5),
+                       complete_bipartite(2, 2).graph),
+            VerifyCase("adv-i/single-edge-right", a_i, tri, single_edge),
+            VerifyCase("adv-i/empty-right", a_i, tri, Graph.empty(3)),
+            VerifyCase("adv-i/isolated-vertex-right", a_i, tri, isolated),
+            VerifyCase("adv-i/matching-right", a_i, tri, matching),
+        ]
+    if a_ii in assumptions:
+        cases += [
+            VerifyCase("adv-ii/stars", a_ii, star_graph(3), star_graph(4)),
+            VerifyCase("adv-ii/paths", a_ii, path_graph(4), path_graph(5)),
+            VerifyCase("adv-ii/bicliques", a_ii, complete_bipartite(2, 2).graph,
+                       complete_bipartite(2, 3).graph),
+            VerifyCase("adv-ii/star-x-biclique", a_ii, star_graph(4),
+                       complete_bipartite(3, 3).graph),
+            VerifyCase("adv-ii/single-edge", a_ii, single_edge, single_edge),
+            VerifyCase("adv-ii/empty-left", a_ii, Graph.empty(2), path_graph(3)),
+            VerifyCase("adv-ii/empty-both", a_ii, Graph.empty(1), Graph.empty(2)),
+            VerifyCase("adv-ii/isolated-vertex-left", a_ii, isolated, path_graph(3)),
+            VerifyCase("adv-ii/matching-left", a_ii, matching, star_graph(2)),
+        ]
+    return cases
+
+
+def chain_cases() -> List[tuple[str, List[Graph]]]:
+    """Multi-factor chains for the ``combine_stats`` fold check."""
+    return [
+        ("chain/path2-path3-star2", [path_graph(2), path_graph(3), star_graph(2)]),
+        ("chain/biclique22-path2-path2",
+         [complete_bipartite(2, 2).graph, path_graph(2), path_graph(2)]),
+        ("chain/triangle-path2-path2",
+         [complete_graph(3), path_graph(2), path_graph(2)]),
+    ]

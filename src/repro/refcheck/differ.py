@@ -1,0 +1,513 @@
+"""Differential verification engine: fused vs legacy vs brute force.
+
+For every corpus case (seeded random factor pairs under Assumption 1(i)
+and 1(ii), plus the adversarial shapes and multi-factor chains in
+:mod:`repro.refcheck.corpus`) the engine materializes the product once,
+computes every quantity through every implementation the repo ships —
+
+* fused kernels (:mod:`repro.kronecker.kernels`, via the public
+  formula entry points),
+* the legacy term-by-term ``sp.kron`` paths (``*_reference`` exports),
+* the batched oracle and the streaming generator,
+* the sublinear global formulas, Thm. 7 community counts, Def. 10/11
+  evaluations,
+
+— and cross-checks each against the derivation-independent brute-force
+referee (:mod:`repro.refcheck.brute`).  Any disagreement is reported as
+a machine-readable *first-divergence witness*: the factor edge lists
+(enough to reproduce the case exactly), the quantity, the
+implementation pair, and the offending vertex or edge with both values.
+
+``perturb="beta-sign"`` deliberately flips the sign of the β terms in
+the fused edge coefficients for the duration of the run — the
+self-test proving the engine actually catches single-sign formula bugs
+(wired into CI's deep-check drill and the acceptance tests).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+from repro.kronecker import kernels
+from repro.kronecker.assumptions import Assumption, make_bipartite_product
+from repro.kronecker.clustering import edge_clustering_ground_truth
+from repro.kronecker.community import (
+    BipartiteCommunity,
+    community_counts,
+    product_community,
+    thm7_product_counts,
+)
+from repro.kronecker.ground_truth import (
+    FactorStats,
+    edge_squares_product,
+    edge_squares_product_reference,
+    global_squares_product,
+    vertex_squares_product,
+    vertex_squares_product_reference,
+)
+from repro.kronecker.multifactor import multi_kronecker_stats
+from repro.kronecker.oracle import GroundTruthOracle
+from repro.kronecker.streaming import stream_edges, streamed_connectivity_audit
+from repro.obs import get_metrics, get_tracer
+from repro.refcheck import brute
+from repro.refcheck.corpus import (
+    VerifyCase,
+    adversarial_cases,
+    chain_cases,
+    random_cases,
+)
+from repro.refcheck.metamorphic import (
+    MetamorphicViolation,
+    check_edge_sum_consistency,
+    check_vertex_sum_consistency,
+)
+
+__all__ = [
+    "PERTURBATIONS",
+    "DivergenceWitness",
+    "VerifyReport",
+    "run_verification",
+    "resolve_assumptions",
+]
+
+REPORT_SCHEMA = "repro.refcheck/1"
+
+#: Supported deliberate formula perturbations (engine self-tests).
+PERTURBATIONS = ("beta-sign",)
+
+
+@dataclass(frozen=True)
+class DivergenceWitness:
+    """One implementation disagreeing with its reference, pinned to a
+    reproducible case and the first offending location."""
+
+    case: str
+    assumption: str
+    quantity: str
+    implementation: str
+    reference: str
+    location: Dict[str, Union[int, str]]
+    expected: Union[int, float, str]
+    actual: Union[int, float, str]
+    factors: Dict[str, dict]
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "assumption": self.assumption,
+            "quantity": self.quantity,
+            "implementation": self.implementation,
+            "reference": self.reference,
+            "location": dict(self.location),
+            "expected": self.expected,
+            "actual": self.actual,
+            "factors": self.factors,
+        }
+
+    def format(self) -> str:
+        loc = ", ".join(f"{k}={v}" for k, v in self.location.items())
+        return (
+            f"{self.case} [{self.assumption}] {self.quantity}: "
+            f"{self.implementation} != {self.reference} at ({loc}): "
+            f"expected {self.expected}, got {self.actual}"
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Machine-readable outcome of one differential verification run."""
+
+    seed: int
+    trials: int
+    max_factor_size: int
+    assumptions: List[str]
+    perturbation: Optional[str]
+    cases: int = 0
+    checks: int = 0
+    elapsed_seconds: float = 0.0
+    witnesses: List[DivergenceWitness] = field(default_factory=list)
+
+    @property
+    def divergences(self) -> int:
+        return len(self.witnesses)
+
+    @property
+    def passed(self) -> bool:
+        return not self.witnesses
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "seed": self.seed,
+            "trials": self.trials,
+            "max_factor_size": self.max_factor_size,
+            "assumptions": self.assumptions,
+            "perturbation": self.perturbation,
+            "cases": self.cases,
+            "checks": self.checks,
+            "divergences": self.divergences,
+            "passed": self.passed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "witnesses": [w.to_dict() for w in self.witnesses],
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    def format(self) -> str:
+        head = (
+            f"verify {'PASS' if self.passed else 'FAIL'}: "
+            f"{self.cases} cases, {self.checks} checks, "
+            f"{self.divergences} divergences "
+            f"(seed={self.seed}, trials={self.trials}, "
+            f"assumptions={'/'.join(self.assumptions)}"
+            + (f", perturbation={self.perturbation}" if self.perturbation else "")
+            + f") in {self.elapsed_seconds:.2f}s"
+        )
+        lines = [head]
+        for w in self.witnesses[:20]:
+            lines.append(f"  DIVERGENCE {w.format()}")
+        if self.divergences > 20:
+            lines.append(f"  ... and {self.divergences - 20} more")
+        return "\n".join(lines)
+
+
+def resolve_assumptions(spec: Union[str, Sequence[Assumption]]) -> List[Assumption]:
+    """``"i"`` / ``"ii"`` / ``"both"`` (or explicit enums) -> enum list."""
+    if not isinstance(spec, str):
+        return list(spec)
+    table = {
+        "i": [Assumption.NON_BIPARTITE_FACTOR],
+        "ii": [Assumption.SELF_LOOPS_FACTOR],
+        "both": [Assumption.NON_BIPARTITE_FACTOR, Assumption.SELF_LOOPS_FACTOR],
+    }
+    if spec not in table:
+        raise ValueError(f"assumption must be 'i', 'ii' or 'both', got {spec!r}")
+    return table[spec]
+
+
+@contextmanager
+def _perturbation(kind: Optional[str]):
+    """Deliberately corrupt the fused edge coefficients for the scope.
+
+    ``"beta-sign"`` flips the sign of both β terms, turning the edge
+    formula into ``1 + α·w3 + β_i·d_k + β_j·d_l``.  The patch lands on
+    :func:`repro.kronecker.kernels.edge_coefficients`, so every fused
+    consumer (whole-product CSR, batched oracle queries, streaming,
+    shards) inherits the bug while the legacy ``sp.kron`` path and the
+    brute-force referee stay honest — exactly the single-derivation
+    failure mode the differ exists to catch.
+    """
+    if kind in (None, "none"):
+        yield
+        return
+    if kind not in PERTURBATIONS:
+        raise ValueError(f"unknown perturbation {kind!r}; choose from {PERTURBATIONS}")
+    original = kernels.edge_coefficients
+
+    def beta_sign_flipped(stats_a, assumption, i, j):
+        alpha, beta_i, beta_j, valid = original(stats_a, assumption, i, j)
+        return alpha, -beta_i, -beta_j, valid
+
+    kernels.edge_coefficients = beta_sign_flipped
+    try:
+        yield
+    finally:
+        kernels.edge_coefficients = original
+
+
+# ---------------------------------------------------------------------------
+# Per-case checking
+# ---------------------------------------------------------------------------
+
+
+class _CaseChecker:
+    """Runs every cross-check for one corpus case, collecting witnesses."""
+
+    def __init__(self, case: VerifyCase, report: VerifyReport):
+        self.case = case
+        self.report = report
+        self.spec = case.spec()
+
+    # -- witness plumbing ---------------------------------------------------
+
+    def _witness(self, quantity, implementation, reference, location, expected, actual):
+        self.report.witnesses.append(
+            DivergenceWitness(
+                case=self.case.label,
+                assumption=self.case.assumption.value,
+                quantity=quantity,
+                implementation=implementation,
+                reference=reference,
+                location=location,
+                expected=expected,
+                actual=actual,
+                factors={"A": self.spec["A"], "B": self.spec["B"]},
+            )
+        )
+
+    def _check_vector(self, quantity, implementation, actual, expected, reference="brute"):
+        """Per-vertex arrays; records the first diverging vertex."""
+        self.report.checks += 1
+        actual = np.asarray(actual)
+        expected = np.asarray(expected)
+        if actual.shape != expected.shape:
+            self._witness(quantity, implementation, reference,
+                          {"kind": "shape"}, str(expected.shape), str(actual.shape))
+            return
+        bad = np.flatnonzero(actual != expected)
+        if bad.size:
+            p = int(bad[0])
+            self._witness(quantity, implementation, reference,
+                          {"kind": "vertex", "vertex": p},
+                          int(expected[p]), int(actual[p]))
+
+    def _check_edge_values(self, quantity, implementation, pairs, actual,
+                           expected_by_edge, reference="brute"):
+        """Per-edge values against the brute dict; first diverging edge."""
+        self.report.checks += 1
+        for (p, q), val in zip(pairs, actual):
+            want = expected_by_edge[(min(p, q), max(p, q))]
+            if val != want:
+                self._witness(quantity, implementation, reference,
+                              {"kind": "edge", "p": int(p), "q": int(q)},
+                              want, val)
+                return
+
+    def _check_scalar(self, quantity, implementation, actual, expected, reference="brute"):
+        self.report.checks += 1
+        if actual != expected:
+            self._witness(quantity, implementation, reference,
+                          {"kind": "global"}, expected, actual)
+
+    # -- the checks ---------------------------------------------------------
+
+    def run(self) -> None:
+        case = self.case
+        bk = make_bipartite_product(case.A, case.B, case.assumption,
+                                    require_connected=False)
+        C = bk.materialize()
+        nbrs = brute.neighbor_sets(C)
+        deg_ref = brute.degrees(C, nbrs)
+        s_ref = brute.squares_at_vertices(C, nbrs)
+        dia_ref = brute.squares_at_edges(C, nbrs)
+        global_ref = brute.global_squares(C, nbrs)
+        stats_a, stats_b = bk.factor_stats()
+        oracle = GroundTruthOracle(bk)
+        all_vertices = np.arange(bk.n, dtype=np.int64)
+
+        # Vertex counts: fused grid, legacy kron terms, batched oracle.
+        self._check_vector("vertex_squares", "fused-kernels",
+                           vertex_squares_product(bk), s_ref)
+        self._check_vector("vertex_squares", "legacy-kron",
+                           vertex_squares_product_reference(bk), s_ref)
+        self._check_vector("vertex_squares", "oracle-batch",
+                           oracle.squares_at_vertices(all_vertices), s_ref)
+        self._check_vector("degrees", "oracle-batch",
+                           oracle.degrees(all_vertices), deg_ref)
+
+        # Edge counts: fused CSR, legacy CSR, batched oracle, stream.
+        fused = sp.csr_array(edge_squares_product(bk))
+        legacy = sp.csr_array(edge_squares_product_reference(bk))
+        self._check_pattern(fused, C)
+        coo = fused.tocoo()
+        pairs = list(zip(coo.row.tolist(), coo.col.tolist()))
+        self._check_edge_values("edge_squares", "fused-kernels",
+                                pairs, coo.data.tolist(), dia_ref)
+        lcoo = legacy.tocoo()
+        self._check_edge_values("edge_squares", "legacy-kron",
+                                list(zip(lcoo.row.tolist(), lcoo.col.tolist())),
+                                lcoo.data.tolist(), dia_ref)
+        u_arr, v_arr = C.edge_arrays()
+        if u_arr.size:
+            self._check_edge_values(
+                "edge_squares", "oracle-batch",
+                list(zip(u_arr.tolist(), v_arr.tolist())),
+                oracle.squares_at_edges(u_arr, v_arr).tolist(), dia_ref)
+        streamed_pairs: List[Tuple[int, int]] = []
+        streamed_vals: List[int] = []
+        for p, q, dia in stream_edges(bk, attach_ground_truth=True):
+            streamed_pairs.extend(zip(p.tolist(), q.tolist()))
+            streamed_vals.extend(np.asarray(dia).tolist())
+        self._check_edge_values("edge_squares", "stream",
+                                streamed_pairs, streamed_vals, dia_ref)
+        self._check_scalar("edge_count", "stream", len(streamed_pairs), int(C.nnz),
+                           reference="materialized-adjacency")
+
+        # Global counts, sublinear.
+        self._check_scalar("global_squares", "sublinear-formula",
+                           global_squares_product(bk), global_ref)
+        self._check_scalar("global_squares", "oracle",
+                           oracle.global_squares(), global_ref)
+
+        # Structure: claimed bipartition, brute bipartiteness, components.
+        self.report.checks += 1
+        if not brute.is_proper_two_coloring(C, bk.product_part()):
+            self._witness("bipartition", "product-part", "brute",
+                          {"kind": "global"}, "proper 2-coloring", "edge inside a part")
+        self._check_scalar("bipartite", "brute-bfs",
+                           brute.two_coloring(C) is not None, True,
+                           reference="paper-claim")
+        n_comp, audit_edges = streamed_connectivity_audit(bk)
+        labels = brute.connected_components(C)
+        self._check_scalar("connectivity", "stream-audit", n_comp,
+                           int(np.unique(labels).size))
+        self._check_scalar("edge_count", "stream-audit", audit_edges, int(C.m),
+                           reference="materialized-adjacency")
+
+        # Clustering (Def. 10) on every eligible product edge.
+        self._check_clustering(bk, C, nbrs)
+
+        # Communities (Thm. 7 / Def. 11), Assumption 1(ii) only.
+        if case.assumption is Assumption.SELF_LOOPS_FACTOR:
+            self._check_communities(bk, C)
+
+        # Metamorphic tiling consistency (vertex/edge sums vs global).
+        for check, name in ((check_vertex_sum_consistency, "vertex_sum"),
+                            (check_edge_sum_consistency, "edge_sum")):
+            self.report.checks += 1
+            try:
+                check(bk)
+            except MetamorphicViolation as exc:
+                self._witness(name, "formula-layer", "tiling-identity",
+                              {"kind": "global"}, "consistent", str(exc))
+
+    def _check_pattern(self, fused: sp.csr_array, C: Graph) -> None:
+        """The ◇ CSR pattern must equal the product adjacency pattern."""
+        self.report.checks += 1
+        adj = sp.csr_array(C.adj)
+        if not (np.array_equal(fused.indptr, adj.indptr)
+                and np.array_equal(fused.indices, adj.indices)):
+            self._witness("edge_pattern", "fused-kernels", "materialized-adjacency",
+                          {"kind": "global"}, f"nnz={adj.nnz}", f"nnz={fused.nnz}")
+
+    def _check_clustering(self, bk, C: Graph, nbrs) -> None:
+        self.report.checks += 1
+        gamma_ref = brute.clustering_at_edges(C, nbrs)
+        p_arr, q_arr, gamma = edge_clustering_ground_truth(bk)
+        seen = 0
+        for p, q, g in zip(p_arr.tolist(), q_arr.tolist(), gamma.tolist()):
+            want = gamma_ref.get((min(p, q), max(p, q)))
+            if want is None or abs(g - want) > 1e-12:
+                self._witness("edge_clustering", "ground-truth", "brute",
+                              {"kind": "edge", "p": int(p), "q": int(q)},
+                              want if want is not None else "not eligible", g)
+                return
+            seen += 1
+        # Both directions of every eligible edge must have been produced.
+        if seen != 2 * len(gamma_ref):
+            self._witness("edge_clustering", "ground-truth", "brute",
+                          {"kind": "global"}, 2 * len(gamma_ref), seen)
+
+    def _check_communities(self, bk, C: Graph) -> None:
+        if bk.A_bipartite is None:
+            return
+        # Deterministic community choice: every other vertex of each factor.
+        members_a = np.arange(0, bk.A.n, 2, dtype=np.int64)
+        members_b = np.arange(0, bk.B.graph.n, 2, dtype=np.int64)
+        if members_a.size == 0 or members_b.size == 0:
+            return
+        comm_a = BipartiteCommunity(bk.A_bipartite, members_a)
+        comm_b = BipartiteCommunity(bk.B, members_b)
+        comm_c = product_community(bk, comm_a, comm_b)
+        ref = brute.community_edge_counts(C, comm_c.members.tolist())
+        self._check_scalar("community_counts", "thm7",
+                           thm7_product_counts(comm_a, comm_b), ref)
+        self._check_scalar("community_counts", "def11-linear-algebra",
+                           community_counts(comm_c), ref)
+
+
+def _check_chain(label: str, factors: List[Graph], report: VerifyReport) -> None:
+    """Multi-factor fold (``combine_stats``) vs brute on the full chain."""
+    combined = multi_kronecker_stats(factors)
+    product = factors[0].adj
+    for f in factors[1:]:
+        product = sp.kron(product, f.adj, format="csr")
+    chain_graph = Graph(sp.csr_array(product))
+    nbrs = brute.neighbor_sets(chain_graph)
+    checker = _CaseChecker(
+        VerifyCase(label, Assumption.NON_BIPARTITE_FACTOR, factors[0], factors[-1]),
+        report,
+    )
+    checker._check_vector("chain_vertex_squares", "combine-stats",
+                          combined.s, brute.squares_at_vertices(chain_graph, nbrs))
+    checker._check_vector("chain_degrees", "combine-stats",
+                          combined.d, brute.degrees(chain_graph, nbrs))
+    checker._check_scalar("chain_global_squares", "combine-stats",
+                          combined.global_squares(),
+                          brute.global_squares(chain_graph, nbrs))
+    coo = sp.csr_array(combined.diamond).tocoo()
+    checker._check_edge_values("chain_edge_squares", "combine-stats",
+                               list(zip(coo.row.tolist(), coo.col.tolist())),
+                               coo.data.tolist(),
+                               brute.squares_at_edges(chain_graph, nbrs))
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_verification(
+    seed: int = 0,
+    trials: int = 50,
+    max_factor_size: int = 6,
+    assumption: Union[str, Sequence[Assumption]] = "both",
+    include_adversarial: bool = True,
+    include_chains: bool = True,
+    perturb: Optional[str] = None,
+) -> VerifyReport:
+    """Run the full differential sweep and return the report.
+
+    ``trials`` seeded random factor pairs (alternating over the selected
+    assumptions) plus the adversarial corpora and multi-factor chains;
+    every case is checked through every implementation against brute
+    force.  The run is wired through the obs layer: spans
+    ``verify.random`` / ``verify.adversarial`` / ``verify.chains`` and
+    counters ``verify.cases_total`` / ``verify.checks_total`` /
+    ``verify.divergences_total`` land in ``--profile`` /
+    ``--metrics-out`` output like any other workload.
+    """
+    assumptions = resolve_assumptions(assumption)
+    report = VerifyReport(
+        seed=seed,
+        trials=trials,
+        max_factor_size=max_factor_size,
+        assumptions=[a.value for a in assumptions],
+        perturbation=None if perturb in (None, "none") else perturb,
+    )
+    tracer = get_tracer()
+    metrics = get_metrics()
+    cases_total = metrics.counter("verify.cases_total")
+    t0 = time.perf_counter()
+    with _perturbation(perturb):
+        batches = [("verify.random",
+                    random_cases(seed, trials, max_factor_size, assumptions))]
+        if include_adversarial:
+            batches.append(("verify.adversarial", adversarial_cases(assumptions)))
+        for span_name, cases in batches:
+            with tracer.span(span_name, cases=len(cases)):
+                for case in cases:
+                    _CaseChecker(case, report).run()
+                    report.cases += 1
+                    cases_total.inc()
+        if include_chains:
+            with tracer.span("verify.chains"):
+                for label, factors in chain_cases():
+                    _check_chain(label, factors, report)
+                    report.cases += 1
+                    cases_total.inc()
+    report.elapsed_seconds = time.perf_counter() - t0
+    metrics.counter("verify.checks_total").inc(report.checks)
+    metrics.counter("verify.divergences_total").inc(report.divergences)
+    return report

@@ -1,0 +1,118 @@
+"""Round-trip tests for ``--block-edges`` chunked streaming (ISSUE 4
+satellite).
+
+Concatenating the yielded blocks must be bit-identical to the unchunked
+stream for every block size — including the degenerate 1-edge blocks,
+a non-divisor size, the production default scale, and a block larger
+than the whole edge set (single yield).  The documented buffer-reuse
+contract is pinned too: with ``block_edges`` set, yielded arrays are
+views into reused buffers that the next iteration invalidates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import complete_bipartite, complete_graph, path_graph, star_graph
+from repro.kronecker import Assumption, make_bipartite_product, stream_edges
+
+BLOCK_SIZES = (1, 7, 16384, None)  # None -> strictly greater than |E|
+
+
+def _products():
+    return [
+        make_bipartite_product(
+            complete_graph(4), complete_bipartite(2, 3).graph,
+            Assumption.NON_BIPARTITE_FACTOR,
+        ),
+        make_bipartite_product(
+            complete_bipartite(2, 2).graph, star_graph(3),
+            Assumption.SELF_LOOPS_FACTOR,
+        ),
+        make_bipartite_product(
+            path_graph(4), path_graph(5), Assumption.SELF_LOOPS_FACTOR
+        ),
+    ]
+
+
+def _flatten(blocks):
+    cols = list(zip(*blocks))
+    return [np.concatenate(c) for c in cols]
+
+
+@pytest.mark.parametrize("attach", [False, True])
+def test_concatenated_blocks_bit_identical_to_unchunked(attach):
+    for bk in _products():
+        baseline = _flatten(
+            [tuple(np.asarray(a).copy() for a in blk)
+             for blk in stream_edges(bk, attach_ground_truth=attach)]
+        )
+        directed_edges = baseline[0].size
+        for size in BLOCK_SIZES:
+            block_edges = directed_edges + 1 if size is None else size
+            chunked = _flatten(
+                [tuple(np.asarray(a).copy() for a in blk)
+                 for blk in stream_edges(
+                     bk, attach_ground_truth=attach, block_edges=block_edges)]
+            )
+            assert len(chunked) == len(baseline)
+            for got, want in zip(chunked, baseline):
+                assert got.dtype == want.dtype
+                assert np.array_equal(got, want), (
+                    f"block_edges={block_edges} changed the stream"
+                )
+
+
+def test_oversized_block_yields_once():
+    for bk in _products():
+        directed_edges = bk.M.adj.nnz * bk.B.graph.adj.nnz
+        blocks = list(
+            stream_edges(bk, attach_ground_truth=True,
+                         block_edges=directed_edges + 1)
+        )
+        assert len(blocks) == 1
+        p, q, dia = blocks[0]
+        assert p.size == q.size == dia.size == directed_edges
+
+
+def test_yielded_views_share_reused_buffers():
+    """The documented invalidation contract: with ``block_edges`` set,
+    consecutive yields are views into the same preallocated buffers."""
+    bk = _products()[0]
+    gen = stream_edges(bk, attach_ground_truth=True, block_edges=1)
+    first = next(gen)
+    second = next(gen)
+    for a, b in zip(first, second):
+        assert np.shares_memory(a, b)
+
+
+def test_retaining_views_without_copy_sees_clobbered_data():
+    """Why the contract matters: retained views are overwritten by the
+    next iteration, so an uncopied collection disagrees with a copied
+    one whenever there is more than one chunk."""
+    bk = _products()[0]
+    copied = [
+        tuple(np.asarray(a).copy() for a in blk)
+        for blk in stream_edges(bk, attach_ground_truth=True, block_edges=1)
+    ]
+    assert len(copied) > 1
+    retained = list(stream_edges(bk, attach_ground_truth=True, block_edges=1))
+    # Every retained block now aliases the final buffer contents.
+    stale = any(
+        not all(np.array_equal(x, y) for x, y in zip(blk, want))
+        for blk, want in zip(retained, copied)
+    )
+    assert stale
+
+
+def test_unchunked_stream_yields_fresh_arrays():
+    """Without ``block_edges`` the yielded arrays are independent — the
+    contract change is strictly opt-in."""
+    bk = _products()[0]
+    blocks = list(stream_edges(bk, attach_ground_truth=True))
+    flat_retained = _flatten(blocks)
+    flat_copied = _flatten(
+        [tuple(np.asarray(a).copy() for a in blk)
+         for blk in stream_edges(bk, attach_ground_truth=True)]
+    )
+    for got, want in zip(flat_retained, flat_copied):
+        assert np.array_equal(got, want)

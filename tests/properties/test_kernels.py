@@ -11,6 +11,7 @@ are checked against the scalar query loop, including error masking.
 import numpy as np
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.graphs.graph import Graph
 from repro.kronecker import (
@@ -31,6 +32,7 @@ from repro.kronecker.ground_truth import (
 from tests.strategies import (
     connected_bipartite_graphs,
     connected_nonbipartite_graphs,
+    products,
     small_graph_corpus,
 )
 
@@ -52,22 +54,11 @@ def _assert_csr_bit_identical(fused, legacy):
 # ---------------------------------------------------------------------------
 
 
-@given(A=connected_nonbipartite_graphs(max_n=5), B=connected_bipartite_graphs(max_side=3))
+@pytest.mark.parametrize("assumption", BOTH_ASSUMPTIONS)
+@given(data=st.data())
 @SETTINGS
-def test_fused_formulas_match_kron_assumption_i(A, B):
-    bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
-    stats_a, stats_b = bk.factor_stats()
-    np.testing.assert_array_equal(
-        _vertex_squares_from_stats(stats_a, stats_b, bk.assumption),
-        _vertex_squares_from_stats_kron(stats_a, stats_b, bk.assumption),
-    )
-    _assert_csr_bit_identical(edge_squares_product(bk), _edge_squares_product_kron(bk))
-
-
-@given(A=connected_bipartite_graphs(max_side=3), B=connected_bipartite_graphs(max_side=3))
-@SETTINGS
-def test_fused_formulas_match_kron_assumption_ii(A, B):
-    bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
+def test_fused_formulas_match_kron(assumption, data):
+    bk = data.draw(products(assumption))
     stats_a, stats_b = bk.factor_stats()
     np.testing.assert_array_equal(
         _vertex_squares_from_stats(stats_a, stats_b, bk.assumption),
@@ -141,16 +132,11 @@ def _oracle_pairs(bk, rng, n_pairs=60):
     return ps.astype(np.int64), qs.astype(np.int64)
 
 
-@given(A=connected_nonbipartite_graphs(max_n=4), B=connected_bipartite_graphs(max_side=3))
+@pytest.mark.parametrize("assumption", BOTH_ASSUMPTIONS)
+@given(data=st.data())
 @SETTINGS
-def test_batched_oracle_matches_scalar_assumption_i(A, B):
-    _check_batched_oracle(make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR))
-
-
-@given(A=connected_bipartite_graphs(max_side=3), B=connected_bipartite_graphs(max_side=3))
-@SETTINGS
-def test_batched_oracle_matches_scalar_assumption_ii(A, B):
-    _check_batched_oracle(make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR))
+def test_batched_oracle_matches_scalar(assumption, data):
+    _check_batched_oracle(data.draw(products(assumption, max_a=4)))
 
 
 def _check_batched_oracle(bk):

@@ -6,7 +6,9 @@ against direct counting on the materialized product.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analytics import edge_squares_matrix, vertex_squares_matrix
 from repro.kronecker import (
@@ -16,36 +18,24 @@ from repro.kronecker import (
     stream_edges,
 )
 
-from tests.strategies import connected_bipartite_graphs, connected_nonbipartite_graphs
+from tests.strategies import connected_bipartite_graphs, connected_nonbipartite_graphs, products
 
 SETTINGS = settings(max_examples=20, deadline=None)
 
+BOTH_ASSUMPTIONS = [Assumption.NON_BIPARTITE_FACTOR, Assumption.SELF_LOOPS_FACTOR]
 
-@given(A=connected_nonbipartite_graphs(max_n=4), B=connected_bipartite_graphs(max_side=3))
+
+@pytest.mark.parametrize("assumption", BOTH_ASSUMPTIONS)
+@given(data=st.data())
 @SETTINGS
-def test_oracle_assumption_i(A, B):
-    bk = make_bipartite_product(A, B, Assumption.NON_BIPARTITE_FACTOR)
+def test_oracle_matches_direct_counting(assumption, data):
+    bk = data.draw(products(assumption, max_a=4))
     oracle = GroundTruthOracle(bk)
     C = bk.materialize()
     s = vertex_squares_matrix(C)
     dia = edge_squares_matrix(C)
     for p in range(C.n):
         assert oracle.degree(p) == C.degrees()[p]
-        assert oracle.squares_at_vertex(p) == s[p]
-    u, v = C.edge_arrays()
-    for p, q in zip(u.tolist(), v.tolist()):
-        assert oracle.squares_at_edge(p, q) == dia[p, q]
-
-
-@given(A=connected_bipartite_graphs(max_side=3), B=connected_bipartite_graphs(max_side=3))
-@SETTINGS
-def test_oracle_assumption_ii(A, B):
-    bk = make_bipartite_product(A, B, Assumption.SELF_LOOPS_FACTOR)
-    oracle = GroundTruthOracle(bk)
-    C = bk.materialize()
-    s = vertex_squares_matrix(C)
-    dia = edge_squares_matrix(C)
-    for p in range(C.n):
         assert oracle.squares_at_vertex(p) == s[p]
     u, v = C.edge_arrays()
     for p, q in zip(u.tolist(), v.tolist()):

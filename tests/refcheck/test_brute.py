@@ -1,0 +1,134 @@
+"""Tests for the brute-force referee itself.
+
+The referee's value rests on two properties: it must be *correct* on
+graphs where counts are known in closed form, and it must be
+*independent* — no imports from the formula layers it referees.  Both
+are pinned here.  (Cross-checks against the formula implementations
+live in ``test_differ.py``; here the expected values are hand-derived.)
+"""
+
+import ast
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.generators.classic import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs import Graph
+from repro.refcheck import brute
+
+
+class TestKnownCounts:
+    def test_cycle4_has_one_square(self):
+        C4 = cycle_graph(4)
+        assert brute.global_squares(C4) == 1
+        assert brute.squares_at_vertices(C4).tolist() == [1, 1, 1, 1]
+        assert all(v == 1 for v in brute.squares_at_edges(C4).values())
+
+    def test_path_and_star_are_square_free(self):
+        for g in (path_graph(6), star_graph(5)):
+            assert brute.global_squares(g) == 0
+            assert not brute.squares_at_vertices(g).any()
+            assert all(v == 0 for v in brute.squares_at_edges(g).values())
+
+    def test_complete_bipartite_closed_form(self):
+        # K_{m,n} has C(m,2)·C(n,2) squares; every vertex of the m-side
+        # lies on (m-1)·C(n,2) of them, every edge on (m-1)(n-1).
+        m, n = 3, 4
+        g = complete_bipartite(m, n).graph
+        expect_global = (m * (m - 1) // 2) * (n * (n - 1) // 2)
+        assert brute.global_squares(g) == expect_global
+        s = brute.squares_at_vertices(g)
+        assert s[:m].tolist() == [(m - 1) * (n * (n - 1) // 2)] * m
+        assert s[m:].tolist() == [(n - 1) * (m * (m - 1) // 2)] * n
+        assert all(v == (m - 1) * (n - 1) for v in brute.squares_at_edges(g).values())
+
+    def test_complete_graph_closed_form(self):
+        # K_n has 3·C(n,4) squares (each 4-subset closes 3 cycles).
+        n = 5
+        g = complete_graph(n)
+        assert brute.global_squares(g) == 3 * (n * (n - 1) * (n - 2) * (n - 3) // 24)
+
+    def test_vertex_and_global_routes_agree(self):
+        # squares_at_vertices and global_squares use different
+        # enumeration routes; Σ s = 4 · global ties them together.
+        for g in (cycle_graph(6), complete_graph(5), complete_bipartite(2, 4).graph):
+            assert int(brute.squares_at_vertices(g).sum()) == 4 * brute.global_squares(g)
+
+    def test_edge_and_global_routes_agree(self):
+        for g in (cycle_graph(4), complete_graph(4), complete_bipartite(3, 3).graph):
+            assert sum(brute.squares_at_edges(g).values()) == 4 * brute.global_squares(g)
+
+    def test_self_loops_rejected(self):
+        import scipy.sparse as sp
+
+        loopy = Graph(sp.csr_array(np.array([[1, 1], [1, 0]])))
+        with pytest.raises(ValueError, match="loop-free"):
+            brute.squares_at_vertices(loopy)
+
+
+class TestStructure:
+    def test_two_coloring_on_bipartite(self):
+        colors = brute.two_coloring(complete_bipartite(2, 3).graph)
+        assert colors is not None
+        assert brute.is_proper_two_coloring(complete_bipartite(2, 3).graph, colors == 1)
+
+    def test_two_coloring_rejects_odd_cycle(self):
+        assert brute.two_coloring(cycle_graph(5)) is None
+        assert brute.two_coloring(complete_graph(3)) is None
+
+    def test_improper_coloring_detected(self):
+        g = path_graph(3)
+        assert not brute.is_proper_two_coloring(g, [True, True, False])
+
+    def test_connected_components(self):
+        g = Graph.from_edges(6, [(0, 1), (2, 3), (3, 4)])
+        labels = brute.connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3] == labels[4]
+        assert len({labels[0], labels[2], labels[5]}) == 3
+
+    def test_community_edge_counts(self):
+        g = complete_bipartite(2, 2).graph  # edges: 4 cross pairs
+        m_in, m_out = brute.community_edge_counts(g, [0, 2])
+        assert (m_in, m_out) == (1, 2)
+        assert brute.community_edge_counts(g, range(4)) == (4, 0)
+        assert brute.community_edge_counts(g, []) == (0, 4 * 0)
+
+    def test_clustering_at_edges_domain(self):
+        g = star_graph(3)  # hub degree 3, leaves degree 1
+        assert brute.clustering_at_edges(g) == {}
+        c4 = brute.clustering_at_edges(cycle_graph(4))
+        assert all(v == 1.0 for v in c4.values())
+
+
+class TestIndependence:
+    """The ground rules from the module docstring, enforced."""
+
+    def test_no_formula_layer_imports(self):
+        tree = ast.parse(inspect.getsource(brute))
+        banned = ("repro.kronecker", "repro.analytics")
+        for node in ast.walk(tree):
+            names = []
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            for name in names:
+                assert not any(name.startswith(b) for b in banned), (
+                    f"brute.py must stay derivation-independent; found import {name!r}"
+                )
+
+    def test_no_matrix_algebra(self):
+        # No `@` matmul and no A @ A-style closed-walk shortcuts.
+        tree = ast.parse(inspect.getsource(brute))
+        for node in ast.walk(tree):
+            assert not isinstance(node, ast.MatMult), (
+                "brute.py must count by enumeration, not linear algebra"
+            )

@@ -1,0 +1,102 @@
+"""The ``repro verify`` subcommand: exit codes, report files, and the
+observability wiring (ISSUE 4 tentpole item 4)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_run_record
+
+# Keep CLI-level runs tiny; the engine itself is exercised in
+# test_differ.py.  --no-chains trims the fixed corpus tail.
+QUICK = ["--trials", "3", "--max-factor-size", "4", "--no-chains"]
+
+
+def _span_names(spans):
+    for span in spans:
+        yield span["name"]
+        yield from _span_names(span.get("children", []))
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        rc = main(["verify", "--seed", "0", *QUICK])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "0 divergences" in out
+
+    def test_beta_sign_perturbation_exits_four(self, capsys):
+        rc = main(["verify", "--seed", "0", *QUICK, "--perturb", "beta-sign"])
+        assert rc == 4
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "DIVERGENCE" in out
+
+    def test_perturb_none_is_clean(self):
+        assert main(["verify", "--seed", "0", *QUICK, "--perturb", "none"]) == 0
+
+    def test_single_assumption_flags(self):
+        assert main(["verify", "--seed", "1", *QUICK, "--assumption", "i"]) == 0
+        assert main(["verify", "--seed", "1", *QUICK, "--assumption", "ii"]) == 0
+
+    def test_bad_assumption_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--assumption", "iii"])
+
+
+class TestReportOut:
+    def test_clean_report_written(self, tmp_path):
+        report = tmp_path / "verify.json"
+        rc = main(["verify", "--seed", "0", *QUICK, "--report-out", str(report)])
+        assert rc == 0
+        data = json.loads(report.read_text())
+        assert data["schema"] == "repro.refcheck/1"
+        assert data["passed"] is True
+        assert data["seed"] == 0
+        assert data["witnesses"] == []
+
+    def test_divergent_report_written_despite_failure(self, tmp_path):
+        report = tmp_path / "verify.json"
+        rc = main(
+            ["verify", "--seed", "0", *QUICK,
+             "--perturb", "beta-sign", "--report-out", str(report)]
+        )
+        assert rc == 4
+        data = json.loads(report.read_text())
+        assert data["passed"] is False
+        assert data["perturbation"] == "beta-sign"
+        assert len(data["witnesses"]) == data["divergences"] > 0
+        w = data["witnesses"][0]
+        assert {"case", "quantity", "implementation", "location", "factors"} <= set(w)
+
+
+class TestObservability:
+    def test_metrics_out_has_verify_spans_and_counters(self, tmp_path):
+        record_path = tmp_path / "run.json"
+        rc = main(["verify", "--seed", "0", *QUICK, "--metrics-out", str(record_path)])
+        assert rc == 0
+        record = load_run_record(record_path)
+        names = set(_span_names(record["spans"]))
+        assert {"cli.verify", "verify.random", "verify.adversarial"} <= names
+        counters = record["metrics"]["counters"]
+        assert counters["verify.cases_total"] > 0
+        assert counters["verify.checks_total"] > counters["verify.cases_total"]
+        assert counters.get("verify.divergences_total", 0) == 0
+        assert record["exit_code"] == 0
+
+    def test_exit_four_recorded_in_run_record(self, tmp_path):
+        record_path = tmp_path / "run.json"
+        rc = main(
+            ["verify", "--seed", "0", *QUICK,
+             "--perturb", "beta-sign", "--metrics-out", str(record_path)]
+        )
+        assert rc == 4
+        record = load_run_record(record_path)
+        assert record["exit_code"] == 4
+        assert record["metrics"]["counters"]["verify.divergences_total"] > 0
+
+    def test_profile_run_still_propagates_exit_code(self, capsys):
+        rc = main(["verify", "--seed", "0", *QUICK, "--perturb", "beta-sign", "--profile"])
+        assert rc == 4

@@ -19,11 +19,14 @@ from hypothesis import strategies as st
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph
+from repro.kronecker.assumptions import Assumption, make_bipartite_product
 
 __all__ = [
     "connected_graphs",
     "connected_bipartite_graphs",
     "connected_nonbipartite_graphs",
+    "factor_pairs",
+    "products",
     "small_graph_corpus",
     "small_bipartite_corpus",
 ]
@@ -100,6 +103,39 @@ def connected_nonbipartite_graphs(draw, min_n: int = 3, max_n: int = 7) -> Graph
     # Force the triangle 0-1-2 (adding edges keeps connectivity).
     edges.update({(0, 1), (1, 2), (0, 2)})
     return Graph.from_edges(g.n, sorted(edges))
+
+
+@st.composite
+def factor_pairs(
+    draw, assumption: Assumption, max_a: int = 5, max_side: int = 3
+):
+    """An ``(A, B)`` factor pair whose parity satisfies ``assumption``.
+
+    ``A`` is non-bipartite (``max_a`` vertices) under 1(i) and bipartite
+    (sides up to ``max_side``) under 1(ii); ``B`` is always bipartite
+    with sides up to ``max_side``.  This is the one place the property
+    suites encode "a valid Assumption-1 pair" — use it instead of
+    repeating the two-strategy ``@given`` signature per assumption.
+    """
+    if assumption is Assumption.NON_BIPARTITE_FACTOR:
+        A = draw(connected_nonbipartite_graphs(max_n=max_a))
+    else:
+        A = draw(connected_bipartite_graphs(max_side=max_side))
+    B = draw(connected_bipartite_graphs(max_side=max_side))
+    return A, B
+
+
+@st.composite
+def products(
+    draw,
+    assumption: Assumption,
+    max_a: int = 5,
+    max_side: int = 3,
+    require_connected: bool = True,
+):
+    """A validated :class:`BipartiteKronecker` drawn via :func:`factor_pairs`."""
+    A, B = draw(factor_pairs(assumption, max_a=max_a, max_side=max_side))
+    return make_bipartite_product(A, B, assumption, require_connected=require_connected)
 
 
 def small_graph_corpus() -> list[Graph]:
