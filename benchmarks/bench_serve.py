@@ -1,0 +1,227 @@
+"""Bench ``serve``: the oracle serving layer under concurrent load.
+
+A load generator drives the :class:`~repro.serve.service.OracleService`
+(and the HTTP front-end) with concurrent clients at increasing fan-in,
+measuring throughput and p50/p99 request latency; a cache-on vs
+cache-off pass quantifies what the LRU buys on repeated traffic; an
+artifact pack/load pass quantifies the boot-time win over rebuilding
+the oracle from factors.  **Every served answer is asserted
+bit-identical to a direct oracle call in the same run** -- a throughput
+row only records after the identity check holds.
+
+Run standalone: ``python -m pytest benchmarks/bench_serve.py -q``
+(``REPRO_BENCH_QUICK=1`` for the CI smoke variant).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.kronecker import GroundTruthOracle
+from repro.kronecker.sampling import sample_edges
+from repro.serve import OracleService, build_server, load_oracle, save_oracle
+from repro.utils.timing import Timer
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+CONCURRENCY = (1, 4) if QUICK else (1, 4, 16)
+REQUESTS_PER_CLIENT = 25 if QUICK else 200
+BATCH = 64
+
+
+def _percentiles(latencies: list[float]) -> tuple[float, float]:
+    arr = np.sort(np.asarray(latencies))
+    return (
+        float(np.percentile(arr, 50)),
+        float(np.percentile(arr, 99)),
+    )
+
+
+def _drive(service: OracleService, oracle: GroundTruthOracle, concurrency: int):
+    """``concurrency`` clients × REQUESTS_PER_CLIENT vertex-square
+    requests; returns (seconds, queries, p50, p99, mismatches)."""
+    n = oracle.bk.n
+    expected = oracle.squares_at_vertices(np.arange(n, dtype=np.int64))
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    mismatches: list[str] = []
+
+    def client(slot: int) -> None:
+        rng = np.random.default_rng(1000 + slot)
+        for _ in range(REQUESTS_PER_CLIENT):
+            ps = rng.integers(0, n, size=BATCH)
+            t0 = time.perf_counter()
+            got = service.squares_at_vertices(ps)
+            latencies[slot].append(time.perf_counter() - t0)
+            if not np.array_equal(got, expected[ps]):
+                mismatches.append(f"client {slot}: mismatch for {ps[:4]}...")
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
+    with Timer() as t:
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+    flat = [lat for per_client in latencies for lat in per_client]
+    p50, p99 = _percentiles(flat)
+    return t.elapsed, concurrency * REQUESTS_PER_CLIENT * BATCH, p50, p99, mismatches
+
+
+def test_serve_throughput_vs_concurrency(unicode_product, record_bench):
+    """Micro-batched service throughput as client fan-in grows."""
+    oracle = GroundTruthOracle(unicode_product)
+    levels = {}
+    for concurrency in CONCURRENCY:
+        with OracleService(oracle, max_queue=4096, cache_size=0) as service:
+            seconds, queries, p50, p99, mismatches = _drive(service, oracle, concurrency)
+            assert not mismatches, mismatches[:3]
+            stats = service.stats()
+        levels[str(concurrency)] = {
+            "queries_per_s": queries / max(seconds, 1e-9),
+            "p50_ms": p50 * 1e3,
+            "p99_ms": p99 * 1e3,
+            "kernel_batches": stats["batches"],
+        }
+    top = levels[str(CONCURRENCY[-1])]
+    coalescing = (CONCURRENCY[-1] * REQUESTS_PER_CLIENT) / max(top["kernel_batches"], 1)
+    record_bench(
+        f"{CONCURRENCY[-1]} clients: {top['queries_per_s'] / 1e6:.2f}M queries/s, "
+        f"p50 {top['p50_ms']:.2f}ms p99 {top['p99_ms']:.2f}ms, "
+        f"{coalescing:.1f} requests per kernel batch, answers bit-identical",
+        levels=levels,
+        queries_per_s=top["queries_per_s"],
+        p50_ms=top["p50_ms"],
+        p99_ms=top["p99_ms"],
+        requests_per_batch=coalescing,
+    )
+    assert top["queries_per_s"] > 0
+
+
+def test_serve_cache_on_vs_off(unicode_product, record_bench):
+    """Repeated traffic: LRU hit path vs recomputing every batch."""
+    oracle = GroundTruthOracle(unicode_product)
+    rng = np.random.default_rng(7)
+    # A small working set of hot request shapes, replayed many times.
+    hot = [rng.integers(0, unicode_product.n, size=BATCH) for _ in range(8)]
+    rounds = 50 if QUICK else 400
+    expected = [oracle.squares_at_vertices(ps) for ps in hot]
+
+    def replay(service: OracleService) -> float:
+        with Timer() as t:
+            for i in range(rounds):
+                got = service.squares_at_vertices(hot[i % len(hot)])
+                np.testing.assert_array_equal(got, expected[i % len(hot)])
+        return t.elapsed
+
+    with OracleService(oracle, max_queue=4096, cache_size=64) as cached:
+        t_on = replay(cached)
+        stats_on = cached.stats()
+    with OracleService(oracle, max_queue=4096, cache_size=0) as uncached:
+        t_off = replay(uncached)
+    hit_rate = stats_on["hits"] / max(stats_on["requests"], 1)
+    speedup = t_off / max(t_on, 1e-9)
+    queries = rounds * BATCH
+    record_bench(
+        f"{queries:,} hot queries: cache-on {t_on:.3f}s ({hit_rate:.0%} hits) vs "
+        f"cache-off {t_off:.3f}s = {speedup:.1f}x, answers identical",
+        cached_queries_per_s=queries / max(t_on, 1e-9),
+        uncached_queries_per_s=queries / max(t_off, 1e-9),
+        cache_hit_rate=hit_rate,
+        cache_speedup=speedup,
+    )
+    # Every round past the first pass over the working set must hit.
+    assert stats_on["misses"] == len(hot), stats_on
+
+
+def test_serve_http_round_trip(unicode_product, record_bench):
+    """Full HTTP stack: concurrent JSON clients, answers vs direct oracle."""
+    oracle = GroundTruthOracle(unicode_product)
+    n_edges = 64 if QUICK else 512
+    ep, eq, expected_sq = sample_edges(unicode_product, n_edges, seed=3, oracle=oracle)
+    concurrency = 2 if QUICK else 8
+    reqs = 10 if QUICK else 50
+    per_req = 16
+    with OracleService(oracle, max_queue=4096, cache_size=0) as service:
+        server = build_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        latencies: list[list[float]] = [[] for _ in range(concurrency)]
+        errors: list[str] = []
+
+        def client(slot: int) -> None:
+            rng = np.random.default_rng(slot)
+            for _ in range(reqs):
+                idx = rng.integers(0, ep.size, size=per_req)
+                body = json.dumps(
+                    {"ps": ep[idx].tolist(), "qs": eq[idx].tolist()}
+                ).encode()
+                req = urllib.request.Request(base + "/v1/squares/edge", data=body)
+                t0 = time.perf_counter()
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    answer = json.loads(resp.read())["squares"]
+                latencies[slot].append(time.perf_counter() - t0)
+                if answer != expected_sq[idx].tolist():
+                    errors.append(f"client {slot}: HTTP answer diverged at {idx[:4]}")
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
+        with Timer() as t:
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+        server.shutdown()
+        server.server_close()
+    assert not errors, errors[:3]
+    total_requests = concurrency * reqs
+    p50, p99 = _percentiles([lat for per in latencies for lat in per])
+    record_bench(
+        f"{total_requests:,} HTTP edge-square requests x{per_req} from "
+        f"{concurrency} clients in {t.elapsed:.2f}s "
+        f"({total_requests / max(t.elapsed, 1e-9):.0f} req/s, p50 {p50 * 1e3:.1f}ms "
+        f"p99 {p99 * 1e3:.1f}ms), answers bit-identical to the oracle",
+        http_requests_per_s=total_requests / max(t.elapsed, 1e-9),
+        http_queries_per_s=total_requests * per_req / max(t.elapsed, 1e-9),
+        http_p50_ms=p50 * 1e3,
+        http_p99_ms=p99 * 1e3,
+    )
+
+
+def test_artifact_load_vs_rebuild(unicode_product, tmp_path_factory, record_bench):
+    """Boot-time win: load a packed artifact vs recomputing factor stats."""
+    from repro.kronecker.ground_truth import FactorStats
+
+    out = tmp_path_factory.mktemp("bench_serve_artifact") / "art"
+    oracle = GroundTruthOracle(unicode_product)
+    save_oracle(oracle, out)
+
+    def rebuild() -> GroundTruthOracle:
+        # A cold boot from factors: recompute both factors' statistics.
+        bk = unicode_product
+        fresh_a = FactorStats.from_graph(bk.A)
+        fresh_b = FactorStats.from_graph(bk.B.graph)
+        return GroundTruthOracle.from_factor_stats(
+            fresh_a, fresh_b, bk.B.part, bk.assumption
+        )
+
+    with Timer() as t_load:
+        loaded = load_oracle(out)
+    with Timer() as t_build:
+        rebuilt = rebuild()
+    ps = np.arange(min(unicode_product.n, 10_000), dtype=np.int64)
+    np.testing.assert_array_equal(loaded.squares_at_vertices(ps), oracle.squares_at_vertices(ps))
+    np.testing.assert_array_equal(rebuilt.squares_at_vertices(ps), oracle.squares_at_vertices(ps))
+    npz_bytes = sum(f.stat().st_size for f in out.iterdir())
+    record_bench(
+        f"artifact load {t_load.elapsed * 1e3:.1f}ms (checksum-verified, "
+        f"{npz_bytes / 2**10:.0f} KiB) vs stats rebuild {t_build.elapsed * 1e3:.1f}ms, "
+        f"answers bit-identical",
+        load_seconds=t_load.elapsed,
+        rebuild_seconds=t_build.elapsed,
+        artifact_bytes=int(npz_bytes),
+    )

@@ -19,6 +19,12 @@ Wraps the library's three workflows for shell users:
   brute-force referee in :mod:`repro.refcheck` over seeded random and
   adversarial factor corpora; exits 4 on any divergence and can write
   the machine-readable witness report (``--report-out``).
+* ``pack`` -- build a persistent, checksummed oracle artifact
+  (``oracle.npz`` + ``artifact.json``, schema ``repro.serve/1``) from
+  factor specs, so a server can boot without recomputing statistics.
+* ``serve`` -- boot the concurrent ground-truth query server over a
+  packed artifact: a JSON HTTP API with request micro-batching, an LRU
+  result cache, and bounded-queue load shedding (see docs/serving.md).
 * ``table1`` / ``fig5`` -- regenerate the §IV artifacts.
 
 Factor specification mini-language (``FACTOR`` arguments)::
@@ -288,6 +294,74 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 4
 
 
+def _cmd_pack(args) -> int:
+    from repro.serve import artifact_info, save_oracle
+
+    tracer = get_tracer()
+    with tracer.span("pack.build_product"):
+        bk = _build_product(args)
+    with tracer.span("pack.build_oracle"):
+        oracle = GroundTruthOracle(bk)
+    out = save_oracle(oracle, args.out_dir)
+    info = artifact_info(out)
+    print(f"packed oracle artifact: {out}", file=sys.stderr)
+    print(
+        f"  schema {info['schema']}  product n={info['product']['n']:,} "
+        f"m={info['product']['m']:,}  {info['oracle_bytes']:,} bytes",
+        file=sys.stderr,
+    )
+    print(f"  {info['checksum']}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import OracleService, artifact_info, build_server, load_oracle
+
+    tracer = get_tracer()
+    with tracer.span("serve.startup", artifact=str(args.artifact)) as sp:
+        info = artifact_info(args.artifact)
+        oracle = load_oracle(args.artifact)
+        service = OracleService(
+            oracle,
+            max_queue=args.max_queue,
+            cache_size=args.cache_size,
+            workers=args.workers,
+        ).start()
+        server = build_server(service, host=args.host, port=args.port, info=info)
+        sp.set(n=oracle.bk.n, m=oracle.bk.m, port=server.server_address[1])
+    host, port = server.server_address[:2]
+    print(
+        f"serving ground-truth oracle on http://{host}:{port} "
+        f"(n={oracle.bk.n:,}, m={oracle.bk.m:,}; Ctrl-C to stop)",
+        file=sys.stderr,
+        flush=True,
+    )
+    # SIGTERM (CI teardown, process managers) gets the same graceful
+    # shutdown as Ctrl-C: stats line, metrics-out record, closed sockets.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        service.stop()
+    stats = service.stats()
+    print(
+        f"serve: shut down after {stats['requests']:,} requests "
+        f"({stats['queries']:,} queries, {stats['hits']:,} cache hits, "
+        f"{stats['shed']:,} shed)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_table1(args) -> int:
     from repro.experiments import table1_unicode
 
@@ -480,6 +554,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable JSON run record to PATH",
     )
     v.set_defaults(fn=_cmd_verify)
+
+    pk = sub.add_parser(
+        "pack",
+        help="build a persistent, checksummed oracle artifact from factor specs",
+    )
+    _add_product_args(pk)
+    pk.add_argument("-o", "--out-dir", required=True, help="artifact output directory")
+    pk.set_defaults(fn=_cmd_pack)
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve ground-truth queries over HTTP from a packed artifact",
+    )
+    sv.add_argument("--artifact", required=True, help="artifact directory written by pack")
+    sv.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    sv.add_argument(
+        "--port", type=int, default=8571, help="bind port (0 = ephemeral, printed at startup)"
+    )
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="batcher threads coalescing queued queries into fused kernel passes",
+    )
+    sv.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="outstanding-request bound; beyond it requests shed with HTTP 503",
+    )
+    sv.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="LRU result-cache entries (0 disables caching)",
+    )
+    sv.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace spans + metrics and print the run summary to stderr",
+    )
+    sv.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the machine-readable JSON run record to PATH on shutdown",
+    )
+    sv.set_defaults(fn=_cmd_serve)
 
     t = sub.add_parser("table1", help="regenerate the paper's Table I")
     t.add_argument("--factor", help="factor spec (default: konect-unicode stand-in)")

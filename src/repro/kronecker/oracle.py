@@ -61,6 +61,46 @@ class GroundTruthOracle:
         self._queries = get_metrics().counter("oracle_queries_total")
 
     # ------------------------------------------------------------------
+    # Artifact export hooks (repro.serve)
+    # ------------------------------------------------------------------
+
+    def artifact_state(self) -> tuple[FactorStats, FactorStats, np.ndarray, Assumption]:
+        """Everything a persistent artifact needs to rebuild this oracle:
+        ``(stats_a, stats_b, part_b, assumption)``.
+
+        :func:`repro.serve.artifact.save_oracle` persists exactly this
+        state; :meth:`from_factor_stats` consumes it.
+        """
+        return self.stats_a, self.stats_b, self.bk.B.part, self.bk.assumption
+
+    @classmethod
+    def from_factor_stats(
+        cls,
+        stats_a: FactorStats,
+        stats_b: FactorStats,
+        part_b: np.ndarray,
+        assumption: Assumption,
+    ) -> "GroundTruthOracle":
+        """Rebuild an oracle from persisted factor statistics.
+
+        The inverse of :meth:`artifact_state`: reconstructs the factor
+        graphs from the stored adjacencies and pre-fills the product
+        handle's statistics cache, so none of the sparse ``A²`` products
+        behind :class:`~repro.kronecker.ground_truth.FactorStats` are
+        recomputed.  Assumption-1 *validation* is also skipped -- the
+        artifact was built from an already-validated product (and the
+        checksum layer guards against tampering).
+        """
+        from repro.graphs.bipartite import BipartiteGraph
+        from repro.graphs.graph import Graph
+
+        A = Graph(stats_a.adj)
+        B = BipartiteGraph(Graph(stats_b.adj), np.asarray(part_b, dtype=bool))
+        bk = BipartiteKronecker(A, B, assumption)
+        bk._stats_cache["stats"] = (stats_a, stats_b)
+        return cls(bk)
+
+    # ------------------------------------------------------------------
     # Index plumbing
     # ------------------------------------------------------------------
 

@@ -1,0 +1,57 @@
+"""Oracle serving layer: persistent artifacts + concurrent query service.
+
+The ROADMAP's north star is a long-lived system answering ground-truth
+queries (Thms. 3-5 vertex/edge 4-cycle counts, Def. 10 clustering) for
+heavy traffic.  The paper makes that cheap -- every answer comes from
+factor-sized statistics, never from the materialized product -- and
+this package turns the in-memory :class:`~repro.kronecker.oracle.GroundTruthOracle`
+into infrastructure:
+
+* :mod:`repro.serve.artifact` -- a versioned, checksummed on-disk
+  oracle artifact (schema ``repro.serve/1``): ``save_oracle`` /
+  ``load_oracle`` round-trip every factor statistic and kernel
+  coefficient so a server boots without recomputing anything.
+* :mod:`repro.serve.service` -- :class:`OracleService`, an in-process
+  front-end over the batched oracle APIs with request micro-batching,
+  an LRU result cache, and bounded-queue backpressure (typed
+  :class:`Overloaded` load-shedding).
+* :mod:`repro.serve.http` -- a stdlib ``ThreadingHTTPServer`` JSON API
+  (``/v1/degree``, ``/v1/squares/vertex``, ``/v1/squares/edge``,
+  ``/v1/clustering``, ``/v1/global``, ``/healthz``, ``/metrics``),
+  fully instrumented through :mod:`repro.obs`.
+
+CLI: ``python -m repro pack`` builds artifacts from factor specs;
+``python -m repro serve`` boots the HTTP server.  See docs/serving.md
+for the artifact format, endpoint reference, and capacity numbers.
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_SCHEMA,
+    ORACLE_FILE,
+    SIDECAR_FILE,
+    ArtifactError,
+    ArtifactIntegrityError,
+    artifact_info,
+    load_oracle,
+    oracle_arrays,
+    save_oracle,
+)
+from repro.serve.http import OracleHTTPServer, build_server
+from repro.serve.service import INVALID_SQUARES, OracleService, Overloaded
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ORACLE_FILE",
+    "SIDECAR_FILE",
+    "ArtifactError",
+    "ArtifactIntegrityError",
+    "artifact_info",
+    "load_oracle",
+    "oracle_arrays",
+    "save_oracle",
+    "INVALID_SQUARES",
+    "OracleService",
+    "Overloaded",
+    "OracleHTTPServer",
+    "build_server",
+]

@@ -1,0 +1,258 @@
+"""Stdlib HTTP JSON API over an :class:`~repro.serve.service.OracleService`.
+
+A ``ThreadingHTTPServer`` (one thread per connection, daemon threads)
+whose handler speaks a small JSON protocol:
+
+===========================  ======  =====================================
+endpoint                     method  body / response
+===========================  ======  =====================================
+``/v1/degree``               POST    ``{"ps": [..]}`` → ``{"degrees": [..]}``
+``/v1/squares/vertex``       POST    ``{"ps": [..]}`` → ``{"squares": [..]}``
+``/v1/squares/edge``         POST    ``{"ps": [..], "qs": [..]}`` → ``{"squares": [..]}``
+``/v1/clustering``           POST    ``{"ps": [..], "qs": [..]}`` → ``{"clustering": [..]}``
+``/v1/global``               GET     ``{"squares": N}``
+``/healthz``                 GET     liveness + artifact summary
+``/metrics``                 GET     service tallies + obs snapshot
+===========================  ======  =====================================
+
+Scalar sugar: ``{"p": 3}`` / ``{"q": 7}`` are accepted anywhere a
+one-element list would be.  Status mapping:
+
+* **400** -- malformed request: invalid JSON, missing/extra keys,
+  non-integer entries, mismatched ``ps``/``qs`` arity, out-of-range
+  vertex ids.
+* **422** -- well-formed but out of domain: a queried pair is not a
+  product edge (or clustering is undefined there).  Mirrors the
+  oracle's ``on_invalid="mask"`` semantics -- the response names the
+  offending slots instead of poisoning the whole batch.
+* **503** -- load shed (:class:`~repro.serve.service.Overloaded`),
+  with a ``Retry-After`` header.
+
+Every request is instrumented through :mod:`repro.obs`: per-endpoint
+latency histograms (``serve.http.latency_s.<endpoint>``) and response
+counters by status class.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.obs import get_metrics
+from repro.serve.service import INVALID_SQUARES, OracleService, Overloaded
+
+__all__ = ["OracleHTTPServer", "build_server"]
+
+
+class _HTTPError(Exception):
+    """Internal: carry a status code + JSON payload up to the handler."""
+
+    def __init__(self, status: int, payload: dict[str, Any]):
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+
+
+def _endpoint_label(path: str) -> str:
+    return path.strip("/").replace("/", "_") or "root"
+
+
+class OracleHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`OracleService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: OracleService,
+        info: Optional[dict[str, Any]] = None,
+    ):
+        super().__init__(address, _OracleHandler)
+        self.service = service
+        self.info = info or {}
+        self.started_at = time.monotonic()
+
+
+class _OracleHandler(BaseHTTPRequestHandler):
+    server: OracleHTTPServer
+    protocol_version = "HTTP/1.1"
+    # The default handler logs every request to stderr; the obs layer
+    # already counts and times them, so stay quiet.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        t0 = time.perf_counter()
+        path = self.path.split("?", 1)[0]
+        status = 500
+        try:
+            # Always drain the body first: with HTTP/1.1 keep-alive an
+            # unread body would desync the next request on the socket.
+            self._body = self._read_body()
+            status, payload = self._route(method, path)
+        except _HTTPError as exc:
+            status, payload = exc.status, exc.payload
+        except Overloaded as exc:
+            status, payload = 503, {"error": str(exc)}
+        except (ValueError, IndexError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        finally:
+            metrics = get_metrics()
+            label = _endpoint_label(path)
+            metrics.histogram(f"serve.http.latency_s.{label}").observe(
+                time.perf_counter() - t0
+            )
+            metrics.counter(f"serve.http.responses_total.{status}").inc()
+        self._send(status, payload)
+
+    def _route(self, method: str, path: str) -> tuple[int, dict[str, Any]]:
+        service = self.server.service
+        if path == "/healthz":
+            self._require_method(method, "GET")
+            return 200, {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self.server.started_at, 3),
+                "artifact": self.server.info,
+                "queue_depth": service.queue_depth(),
+            }
+        if path == "/metrics":
+            self._require_method(method, "GET")
+            return 200, {"service": service.stats(), "metrics": get_metrics().snapshot()}
+        if path == "/v1/global":
+            self._require_method(method, "GET")
+            return 200, {"squares": service.global_squares()}
+        if path == "/v1/degree":
+            self._require_method(method, "POST")
+            ps = self._read_indices(keys=("ps",))[0]
+            return 200, {"degrees": service.degrees(ps).tolist()}
+        if path == "/v1/squares/vertex":
+            self._require_method(method, "POST")
+            ps = self._read_indices(keys=("ps",))[0]
+            return 200, {"squares": service.squares_at_vertices(ps).tolist()}
+        if path == "/v1/squares/edge":
+            self._require_method(method, "POST")
+            ps, qs = self._read_indices(keys=("ps", "qs"))
+            values = service.squares_at_edges(ps, qs)
+            invalid = np.flatnonzero(values == INVALID_SQUARES)
+            if invalid.size:
+                raise _HTTPError(422, self._invalid_payload(ps, qs, invalid))
+            return 200, {"squares": values.tolist()}
+        if path == "/v1/clustering":
+            self._require_method(method, "POST")
+            ps, qs = self._read_indices(keys=("ps", "qs"))
+            values = service.clustering_at_edges(ps, qs)
+            invalid = np.flatnonzero(np.isnan(values))
+            if invalid.size:
+                raise _HTTPError(422, self._invalid_payload(ps, qs, invalid))
+            return 200, {"clustering": values.tolist()}
+        raise _HTTPError(404, {"error": f"unknown endpoint {path}"})
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+
+    def _require_method(self, method: str, expected: str) -> None:
+        if method != expected:
+            raise _HTTPError(405, {"error": f"use {expected} for this endpoint"})
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise _HTTPError(400, {"error": "bad Content-Length header"}) from None
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _read_indices(self, keys: tuple[str, ...]) -> list[list[int]]:
+        """Parse the JSON body into one index list per key (400 on any
+        malformed shape; scalar ``p``/``q`` sugar accepted)."""
+        raw = self._body
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HTTPError(400, {"error": f"request body is not valid JSON: {exc}"}) from exc
+        if not isinstance(body, dict):
+            raise _HTTPError(400, {"error": "request body must be a JSON object"})
+        known = set()
+        for key in keys:
+            known.update((key, key.rstrip("s")))
+        extra = set(body) - known
+        if extra:
+            raise _HTTPError(
+                400, {"error": f"unexpected keys {sorted(extra)} (expected {sorted(keys)})"}
+            )
+        out: list[list[int]] = []
+        for key in keys:
+            scalar = key.rstrip("s")
+            if key in body and scalar in body:
+                raise _HTTPError(400, {"error": f"pass either {key!r} or {scalar!r}, not both"})
+            if scalar in body:
+                values: Any = [body[scalar]]
+            elif key in body:
+                values = body[key]
+            else:
+                raise _HTTPError(400, {"error": f"missing required key {key!r}"})
+            if not isinstance(values, list):
+                raise _HTTPError(400, {"error": f"{key!r} must be a JSON list of vertex ids"})
+            if not all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+                raise _HTTPError(400, {"error": f"{key!r} must contain integers only"})
+            out.append(values)
+        if len(out) == 2 and len(out[0]) != len(out[1]):
+            raise _HTTPError(
+                400,
+                {"error": f"ps and qs must match in length: {len(out[0])} vs {len(out[1])}"},
+            )
+        return out
+
+    def _invalid_payload(self, ps: list, qs: list, invalid: np.ndarray) -> dict[str, Any]:
+        slots = invalid.tolist()
+        return {
+            "error": "query out of domain: pairs are not product edges "
+            "(or clustering is undefined there)",
+            "invalid": slots,
+            "pairs": [[ps[i], qs[i]] for i in slots[:16]],
+        }
+
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if status == 503:
+                self.send_header("Retry-After", "1")
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+
+def build_server(
+    service: OracleService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    info: Optional[dict[str, Any]] = None,
+) -> OracleHTTPServer:
+    """Bind (but do not run) the JSON API server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address``.  Call ``serve_forever()`` (blocking) or
+    drive it from a thread; ``shutdown()`` + ``server_close()`` to stop.
+    """
+    return OracleHTTPServer((host, port), service, info=info)

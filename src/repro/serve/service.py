@@ -1,0 +1,406 @@
+"""In-process oracle serving: micro-batched queries, LRU cache, backpressure.
+
+:class:`OracleService` sits between callers (the HTTP layer, benches,
+or library users) and a :class:`~repro.kronecker.oracle.GroundTruthOracle`.
+Three mechanisms turn the oracle's batched kernels into a service that
+degrades gracefully under heavy traffic instead of falling over:
+
+* **Micro-batching / coalescing.**  Requests land in a queue; worker
+  threads drain up to ``max_batch`` queued query elements at a time,
+  group them by kind, and answer each group with *one* fused kernel
+  call (``degrees`` / ``squares_at_vertices`` / ``squares_at_edges``).
+  Concurrent small requests ride the same vectorized pass -- the
+  element-wise kernels make the coalesced answers bit-identical to
+  per-request calls.
+* **LRU result cache.**  Identical requests (same kind + same index
+  arrays) are answered from an ``OrderedDict`` LRU without touching
+  the queue; hits and misses are counted both locally (:meth:`stats`)
+  and through :mod:`repro.obs`.
+* **Bounded-queue backpressure.**  Past ``max_queue`` outstanding
+  requests, :meth:`submit` sheds the request with a typed
+  :class:`Overloaded` error (HTTP 503 upstream) instead of letting
+  latency grow without bound.
+
+Non-edges follow the oracle's ``on_invalid="mask"`` semantics: the
+answer array carries :data:`INVALID_SQUARES` (``-1``; ``NaN`` for
+clustering) at invalid slots, and the HTTP layer maps any invalid slot
+to 422.  See docs/serving.md for tuning guidance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.kronecker.oracle import GroundTruthOracle
+from repro.obs import get_metrics
+
+__all__ = ["INVALID_SQUARES", "Overloaded", "OracleService"]
+
+#: Sentinel for non-edge slots in integer answers (counts are never negative).
+INVALID_SQUARES = -1
+
+_KINDS = ("degree", "vertex_squares", "edge_squares", "clustering", "global")
+_PAIR_KINDS = ("edge_squares", "clustering")
+
+
+class Overloaded(RuntimeError):
+    """Request shed: the service queue is at ``max_queue`` depth.
+
+    The typed load-shedding error -- callers should back off and retry;
+    the HTTP layer maps it to 503 with a ``Retry-After`` hint.
+    """
+
+
+class _Request:
+    """One queued query batch: inputs, completion event, outcome."""
+
+    __slots__ = ("kind", "ps", "qs", "event", "result", "error", "cache_key")
+
+    def __init__(
+        self,
+        kind: str,
+        ps: Optional[np.ndarray],
+        qs: Optional[np.ndarray],
+        cache_key: Optional[tuple] = None,
+    ):
+        self.kind = kind
+        self.ps = ps
+        self.qs = qs
+        self.cache_key = cache_key
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def size(self) -> int:
+        return int(self.ps.size) if self.ps is not None else 1
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the worker resolves this request; re-raise its error."""
+        if not self.event.wait(timeout):
+            raise TimeoutError(f"{self.kind} request not answered within {timeout}s")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class OracleService:
+    """Concurrent front-end over a ground-truth oracle.
+
+    Parameters
+    ----------
+    oracle:
+        The oracle to serve.
+    max_queue:
+        Outstanding-request bound; further submissions shed with
+        :class:`Overloaded`.  ``0`` sheds everything (drill mode).
+    max_batch:
+        Upper bound on query *elements* coalesced into one kernel pass.
+    cache_size:
+        LRU entries to keep (``0`` disables the cache).
+    workers:
+        Batcher threads.  One is enough until kernel time dominates;
+        more let independent kinds proceed in parallel.
+    """
+
+    def __init__(
+        self,
+        oracle: GroundTruthOracle,
+        *,
+        max_queue: int = 1024,
+        max_batch: int = 65536,
+        cache_size: int = 4096,
+        workers: int = 1,
+    ):
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.oracle = oracle
+        self.max_queue = max_queue
+        self.max_batch = max(1, max_batch)
+        self.cache_size = cache_size
+        self._n_workers = workers
+        self._pending: deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = []
+        self._stopped = False
+        self._cache: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._global: Optional[int] = None
+        # Local tallies (always on) + obs metrics (no-ops unless enabled).
+        self._counts = {
+            "requests": 0, "queries": 0, "hits": 0, "misses": 0,
+            "shed": 0, "batches": 0, "invalid": 0,
+        }
+        metrics = get_metrics()
+        self._m_requests = metrics.counter("serve.requests_total")
+        self._m_queries = metrics.counter("serve.queries_total")
+        self._m_hits = metrics.counter("serve.cache_hits_total")
+        self._m_misses = metrics.counter("serve.cache_misses_total")
+        self._m_shed = metrics.counter("serve.shed_total")
+        self._m_batches = metrics.counter("serve.batches_total")
+        self._m_batch_size = metrics.histogram("serve.batch_queries")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "OracleService":
+        """Spawn the batcher threads (idempotent)."""
+        with self._lock:
+            if self._threads:
+                return self
+            self._stopped = False
+            self._threads = [
+                threading.Thread(target=self._worker_loop, name=f"oracle-serve-{i}", daemon=True)
+                for i in range(self._n_workers)
+            ]
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the batchers; pending requests fail with :class:`Overloaded`."""
+        with self._lock:
+            self._stopped = True
+            drained = list(self._pending)
+            self._pending.clear()
+            self._not_empty.notify_all()
+        for req in drained:
+            req.error = Overloaded("service stopped before the request was answered")
+            req.event.set()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._threads = []
+
+    def __enter__(self) -> "OracleService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _coerce(self, values: Any, name: str) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.dtype == object or not np.issubdtype(arr.dtype, np.integer):
+            # Reject floats/strings/bools explicitly; int-valued lists pass.
+            if arr.dtype == bool or not np.issubdtype(arr.dtype, np.number):
+                raise ValueError(f"{name} must contain integers, got dtype {arr.dtype}")
+            as_int = arr.astype(np.int64)
+            if not np.array_equal(as_int, arr):
+                raise ValueError(f"{name} must contain integers, got {arr.dtype} values")
+            arr = as_int
+        arr = arr.astype(np.int64, copy=False)
+        if arr.ndim != 1:
+            raise ValueError(f"{name} must be a flat index list, got shape {arr.shape}")
+        if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= self.oracle.bk.n):
+            bad = arr[(arr < 0) | (arr >= self.oracle.bk.n)][0]
+            raise IndexError(
+                f"product vertex {int(bad)} out of range [0, {self.oracle.bk.n})"
+            )
+        return arr
+
+    def submit(self, kind: str, ps: Any = None, qs: Any = None) -> _Request:
+        """Validate, cache-check, and enqueue one request.
+
+        Returns a :class:`_Request` handle whose :meth:`_Request.wait`
+        yields the answer.  Raises ``ValueError``/``IndexError``
+        synchronously on malformed input (the caller's fault, HTTP 400)
+        and :class:`Overloaded` when the queue is saturated (503).
+        Cache hits resolve immediately without touching the queue.
+        """
+        if kind not in _KINDS:
+            raise ValueError(f"unknown query kind {kind!r} (expected one of {_KINDS})")
+        if kind == "global":
+            ps_arr = qs_arr = None
+            key: tuple = ("global",)
+        else:
+            if ps is None:
+                raise ValueError(f"{kind} queries need a ps index list")
+            ps_arr = self._coerce(ps, "ps")
+            if kind in _PAIR_KINDS:
+                if qs is None:
+                    raise ValueError(f"{kind} queries need both ps and qs index lists")
+                qs_arr = self._coerce(qs, "qs")
+                if ps_arr.shape != qs_arr.shape:
+                    raise ValueError(
+                        f"ps and qs must match in length: {ps_arr.size} vs {qs_arr.size}"
+                    )
+            else:
+                if qs is not None:
+                    raise ValueError(f"{kind} queries take only ps, got a qs list too")
+                qs_arr = None
+            key = (
+                kind,
+                ps_arr.tobytes(),
+                qs_arr.tobytes() if qs_arr is not None else b"",
+            )
+        req = _Request(kind, ps_arr, qs_arr, cache_key=key)
+        self._counts["requests"] += 1
+        self._counts["queries"] += req.size
+        self._m_requests.inc()
+        self._m_queries.inc(req.size)
+        cached = self._cache_get(key)
+        if cached is not None:
+            req.result = cached
+            req.event.set()
+            return req
+        with self._lock:
+            if self._stopped:
+                raise Overloaded("service is stopped")
+            if len(self._pending) >= self.max_queue:
+                self._counts["shed"] += 1
+                self._m_shed.inc()
+                raise Overloaded(
+                    f"queue depth {len(self._pending)} at max_queue={self.max_queue}; "
+                    "back off and retry"
+                )
+            self._pending.append(req)
+            self._not_empty.notify()
+        return req
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key: tuple) -> Any:
+        if not self.cache_size:
+            self._counts["misses"] += 1
+            self._m_misses.inc()
+            return None
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self._counts["hits"] += 1
+                self._m_hits.inc()
+                return self._cache[key]
+        self._counts["misses"] += 1
+        self._m_misses.inc()
+        return None
+
+    def _cache_put(self, key: tuple, value: Any) -> None:
+        if not self.cache_size:
+            return
+        with self._lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Batcher
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._not_empty:
+                while not self._pending and not self._stopped:
+                    self._not_empty.wait()
+                if self._stopped and not self._pending:
+                    return
+                batch: list[_Request] = []
+                elements = 0
+                while self._pending and elements < self.max_batch:
+                    req = self._pending.popleft()
+                    batch.append(req)
+                    elements += req.size
+            self._counts["batches"] += 1
+            self._m_batches.inc()
+            self._m_batch_size.observe(elements)
+            groups: dict[str, list[_Request]] = {}
+            for req in batch:
+                groups.setdefault(req.kind, []).append(req)
+            for kind, reqs in groups.items():
+                try:
+                    self._execute(kind, reqs)
+                except BaseException as exc:  # pragma: no cover - defensive
+                    for req in reqs:
+                        req.error = exc
+                finally:
+                    for req in reqs:
+                        req.event.set()
+
+    def _execute(self, kind: str, reqs: list[_Request]) -> None:
+        """Answer every request of ``kind`` with one coalesced kernel pass."""
+        if kind == "global":
+            if self._global is None:
+                self._global = int(self.oracle.global_squares())
+            for req in reqs:
+                req.result = self._global
+                self._store(req)
+            return
+        ps = np.concatenate([req.ps for req in reqs]) if len(reqs) > 1 else reqs[0].ps
+        if kind == "degree":
+            out: np.ndarray = self.oracle.degrees(ps)
+        elif kind == "vertex_squares":
+            out = self.oracle.squares_at_vertices(ps)
+        else:
+            qs = np.concatenate([req.qs for req in reqs]) if len(reqs) > 1 else reqs[0].qs
+            dia = self.oracle.squares_at_edges(ps, qs, on_invalid="mask")
+            if kind == "edge_squares":
+                out = dia
+                self._counts["invalid"] += int((dia == INVALID_SQUARES).sum())
+            else:  # clustering
+                dp = self.oracle.degrees(ps)
+                dq = self.oracle.degrees(qs)
+                valid = (dia != INVALID_SQUARES) & (dp >= 2) & (dq >= 2)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    out = np.where(valid, dia / ((dp - 1) * (dq - 1)), np.nan)
+                self._counts["invalid"] += int((~valid).sum())
+        offset = 0
+        for req in reqs:
+            req.result = out[offset : offset + req.size]
+            offset += req.size
+            self._store(req)
+
+    def _store(self, req: _Request) -> None:
+        if req.cache_key is not None:
+            self._cache_put(req.cache_key, req.result)
+
+    # ------------------------------------------------------------------
+    # Public query API (synchronous conveniences)
+    # ------------------------------------------------------------------
+
+    def degrees(self, ps: Any, timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Batched product degrees; coalesced with concurrent requests."""
+        return self.submit("degree", ps).wait(timeout)
+
+    def squares_at_vertices(self, ps: Any, timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Batched Thm. 3/4 vertex 4-cycle counts."""
+        return self.submit("vertex_squares", ps).wait(timeout)
+
+    def squares_at_edges(self, ps: Any, qs: Any, timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Batched Thm. 5 edge 4-cycle counts; ``-1`` marks non-edges."""
+        return self.submit("edge_squares", ps, qs).wait(timeout)
+
+    def clustering_at_edges(self, ps: Any, qs: Any, timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Batched Def. 10 clustering; ``NaN`` marks out-of-domain pairs."""
+        return self.submit("clustering", ps, qs).wait(timeout)
+
+    def global_squares(self, timeout: Optional[float] = 30.0) -> int:
+        """Total product 4-cycles (memoized after the first request)."""
+        return int(self.submit("global").wait(timeout))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> dict[str, int]:
+        """Service tallies: requests/queries served, cache hits/misses,
+        shed requests, kernel batches, invalid (masked) slots."""
+        counts = dict(self._counts)
+        counts["queue_depth"] = self.queue_depth()
+        counts["cache_entries"] = len(self._cache)
+        return counts

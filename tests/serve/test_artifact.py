@@ -1,0 +1,155 @@
+"""Artifact round-trip, checksum tamper, and schema-gate tests."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kronecker import GroundTruthOracle
+from repro.serve import (
+    ARTIFACT_SCHEMA,
+    ORACLE_FILE,
+    SIDECAR_FILE,
+    ArtifactError,
+    ArtifactIntegrityError,
+    artifact_info,
+    load_oracle,
+    oracle_arrays,
+    save_oracle,
+)
+from tests.serve.conftest import product_edges
+
+
+@pytest.mark.parametrize("oracle_fixture", ["oracle_i", "oracle_ii"])
+def test_round_trip_bit_identical(oracle_fixture, tmp_path, request):
+    """Saved-and-loaded oracles answer every query bit-identically."""
+    oracle = request.getfixturevalue(oracle_fixture)
+    loaded = load_oracle(save_oracle(oracle, tmp_path / "art"))
+    ps = np.arange(oracle.bk.n, dtype=np.int64)
+    assert np.array_equal(loaded.degrees(ps), oracle.degrees(ps))
+    assert np.array_equal(loaded.squares_at_vertices(ps), oracle.squares_at_vertices(ps))
+    ep, eq = product_edges(oracle)
+    assert np.array_equal(
+        loaded.squares_at_edges(ep, eq), oracle.squares_at_edges(ep, eq)
+    )
+    assert loaded.global_squares() == oracle.global_squares()
+    for p, q in zip(ep[:8].tolist(), eq[:8].tolist()):
+        if oracle.degree(p) >= 2 and oracle.degree(q) >= 2:
+            assert loaded.clustering_at_edge(p, q) == oracle.clustering_at_edge(p, q)
+    assert loaded.bk.assumption is oracle.bk.assumption
+
+
+def test_round_trip_no_recompute(oracle_i, tmp_path):
+    """Loading reuses the persisted statistics objects, not fresh ones."""
+    loaded = load_oracle(save_oracle(oracle_i, tmp_path / "art"))
+    stats_a, stats_b = loaded.bk.factor_stats()
+    # The handle's cache was pre-filled by from_factor_stats: the oracle
+    # holds the exact same FactorStats instances the loader built.
+    assert stats_a is loaded.stats_a and stats_b is loaded.stats_b
+
+
+def test_sidecar_contents(oracle_i, tmp_path):
+    out = save_oracle(oracle_i, tmp_path / "art")
+    info = artifact_info(out)
+    assert info["schema"] == ARTIFACT_SCHEMA
+    assert info["checksum"].startswith("sha256:")
+    assert info["product"] == {"n": oracle_i.bk.n, "m": oracle_i.bk.m}
+    assert info["arrays"] == sorted(oracle_arrays(oracle_i))
+    assert (out / ORACLE_FILE).stat().st_size == info["oracle_bytes"]
+
+
+def test_checksum_tamper_refused(oracle_i, tmp_path):
+    """A flipped degree value must fail the content checksum on load."""
+    out = save_oracle(oracle_i, tmp_path / "art")
+    with np.load(out / ORACLE_FILE) as data:
+        arrays = {key: data[key].copy() for key in data.files}
+    arrays["a_d"][0] += 1
+    with open(out / ORACLE_FILE, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    with pytest.raises(ArtifactIntegrityError, match="checksum mismatch"):
+        load_oracle(out)
+    # verify=False deliberately skips the hash (and the coefficient
+    # cross-check) -- the caller owns integrity then.
+    load_oracle(out, verify=False)
+
+
+def test_bit_rotted_npz_refused_with_typed_error(oracle_i, tmp_path):
+    """A byte-flipped npz (zlib/CRC failure) raises ArtifactError, not a
+    bare BadZipFile -- so the CLI reports it instead of tracebacking."""
+    from repro.serve import ArtifactError
+
+    out = save_oracle(oracle_i, tmp_path / "art")
+    blob = bytearray((out / ORACLE_FILE).read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    (out / ORACLE_FILE).write_bytes(bytes(blob))
+    with pytest.raises(ArtifactError, match="unreadable"):
+        load_oracle(out)
+
+
+def test_kernel_coefficient_tamper_refused(oracle_i, tmp_path):
+    """Consistent-checksum but inconsistent coefficients still refuse.
+
+    Rewrites vertex_L *and* the sidecar checksum, simulating a
+    hand-edited artifact whose hash was 'fixed up': the persisted
+    kernel coefficients no longer follow from the factor statistics.
+    """
+    from repro.parallel.manifest import checksum_arrays
+
+    out = save_oracle(oracle_i, tmp_path / "art")
+    with np.load(out / ORACLE_FILE) as data:
+        arrays = {key: data[key].copy() for key in data.files}
+    arrays["vertex_L"][0, 0] += 1
+    with open(out / ORACLE_FILE, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    info = json.loads((out / SIDECAR_FILE).read_text())
+    info["checksum"] = checksum_arrays(arrays)
+    (out / SIDECAR_FILE).write_text(json.dumps(info))
+    with pytest.raises(ArtifactIntegrityError, match="kernel coefficients"):
+        load_oracle(out)
+
+
+def test_schema_version_gate(oracle_i, tmp_path):
+    out = save_oracle(oracle_i, tmp_path / "art")
+    info = json.loads((out / SIDECAR_FILE).read_text())
+    info["schema"] = "repro.serve/999"
+    (out / SIDECAR_FILE).write_text(json.dumps(info))
+    with pytest.raises(ArtifactError, match="unsupported artifact schema"):
+        load_oracle(out)
+
+
+def test_missing_artifact_errors(tmp_path, oracle_i):
+    with pytest.raises(ArtifactError, match="no oracle artifact"):
+        load_oracle(tmp_path / "nowhere")
+    out = save_oracle(oracle_i, tmp_path / "art")
+    (out / ORACLE_FILE).unlink()
+    with pytest.raises(ArtifactError, match="missing oracle.npz"):
+        load_oracle(out)
+
+
+def test_malformed_sidecar_errors(tmp_path):
+    art = tmp_path / "art"
+    art.mkdir()
+    (art / SIDECAR_FILE).write_text("{not json")
+    with pytest.raises(ArtifactError, match="not valid JSON"):
+        load_oracle(art)
+
+
+def test_overwrite_is_atomic_and_idempotent(oracle_i, tmp_path):
+    """Packing twice into the same directory leaves one valid artifact
+    with an identical content checksum (timestamps never leak in)."""
+    out = tmp_path / "art"
+    first = artifact_info(save_oracle(oracle_i, out))
+    second = artifact_info(save_oracle(oracle_i, out))
+    assert first["checksum"] == second["checksum"]
+    assert {p.name for p in out.iterdir()} == {SIDECAR_FILE, ORACLE_FILE}
+    load_oracle(out)
+
+
+def test_from_factor_stats_matches_fresh_oracle(product_i, oracle_i):
+    """The export hook's inverse rebuilds an equivalent oracle directly."""
+    rebuilt = GroundTruthOracle.from_factor_stats(*oracle_i.artifact_state())
+    ps = np.arange(product_i.n, dtype=np.int64)
+    assert np.array_equal(rebuilt.squares_at_vertices(ps), oracle_i.squares_at_vertices(ps))
+    assert rebuilt.global_squares() == oracle_i.global_squares()

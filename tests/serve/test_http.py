@@ -1,0 +1,232 @@
+"""HTTP API: endpoint round-trips and the 400/422/503 failure paths."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import OracleService, build_server
+
+
+class _Client:
+    """Tiny urllib client returning (status, parsed_json)."""
+
+    def __init__(self, host: str, port: int):
+        self.base = f"http://{host}:{port}"
+
+    def get(self, path: str):
+        return self._call(urllib.request.Request(self.base + path))
+
+    def post(self, path: str, body, raw: bytes | None = None):
+        data = raw if raw is not None else json.dumps(body).encode("utf-8")
+        return self._call(
+            urllib.request.Request(
+                self.base + path, data=data, headers={"Content-Type": "application/json"}
+            )
+        )
+
+    def _call(self, req):
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+
+def _serve(service, info=None):
+    server = build_server(service, info=info)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return server, _Client(host, port)
+
+
+@pytest.fixture
+def served(oracle_i):
+    with OracleService(oracle_i, max_queue=64, cache_size=32) as service:
+        server, client = _serve(service, info={"schema": "repro.serve/1"})
+        try:
+            yield client, service, oracle_i
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+def test_healthz(served):
+    client, service, _ = served
+    status, body = client.get("/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["artifact"]["schema"] == "repro.serve/1"
+    assert body["queue_depth"] == 0
+
+
+def test_degree_endpoint_matches_oracle(served):
+    client, _, oracle = served
+    ps = list(range(oracle.bk.n))
+    status, body = client.post("/v1/degree", {"ps": ps})
+    assert status == 200
+    assert body["degrees"] == oracle.degrees(ps).tolist()
+    # scalar sugar
+    status, body = client.post("/v1/degree", {"p": 3})
+    assert (status, body["degrees"]) == (200, [oracle.degree(3)])
+
+
+def test_vertex_squares_endpoint_matches_oracle(served):
+    client, _, oracle = served
+    ps = list(range(oracle.bk.n))
+    status, body = client.post("/v1/squares/vertex", {"ps": ps})
+    assert status == 200
+    assert body["squares"] == oracle.squares_at_vertices(ps).tolist()
+
+
+def test_edge_endpoints_match_oracle(served, edges_i):
+    client, _, oracle = served
+    ep, eq = (a.tolist() for a in edges_i)
+    status, body = client.post("/v1/squares/edge", {"ps": ep, "qs": eq})
+    assert status == 200
+    assert body["squares"] == oracle.squares_at_edges(edges_i[0], edges_i[1]).tolist()
+    status, body = client.post("/v1/clustering", {"ps": ep[:4], "qs": eq[:4]})
+    assert status == 200
+    expected = [oracle.clustering_at_edge(p, q) for p, q in zip(ep[:4], eq[:4])]
+    assert body["clustering"] == expected
+
+
+def test_global_endpoint(served):
+    client, _, oracle = served
+    status, body = client.get("/v1/global")
+    assert (status, body["squares"]) == (200, oracle.global_squares())
+
+
+def test_metrics_endpoint(served):
+    client, service, _ = served
+    client.post("/v1/degree", {"ps": [0]})
+    status, body = client.get("/metrics")
+    assert status == 200
+    assert body["service"]["requests"] >= 1
+    assert "metrics" in body
+
+
+def test_malformed_json_is_400(served):
+    client, _, _ = served
+    status, body = client.post("/v1/degree", None, raw=b"{not json")
+    assert status == 400
+    assert "not valid JSON" in body["error"]
+
+
+@pytest.mark.parametrize(
+    "path,body,fragment",
+    [
+        ("/v1/degree", {"qs": [0]}, "unexpected keys"),
+        ("/v1/degree", {}, "missing required key"),
+        ("/v1/degree", {"ps": 3}, "must be a JSON list"),
+        ("/v1/degree", {"ps": [0.5]}, "integers only"),
+        ("/v1/degree", {"ps": ["a"]}, "integers only"),
+        ("/v1/degree", {"ps": [True]}, "integers only"),
+        ("/v1/degree", {"ps": [0], "p": 0}, "not both"),
+        ("/v1/squares/edge", {"ps": [0]}, "missing required key"),
+        ("/v1/squares/edge", {"ps": [0, 1], "qs": [0]}, "match in length"),
+        ("/v1/clustering", {"ps": [0, 1], "qs": [2]}, "match in length"),
+        ("/v1/degree", [0, 1], "JSON object"),
+    ],
+)
+def test_wrong_arity_and_shape_are_400(served, path, body, fragment):
+    client, _, _ = served
+    status, payload = client.post(path, body)
+    assert status == 400, payload
+    assert fragment in payload["error"]
+
+
+def test_out_of_range_vertex_is_400(served):
+    client, _, oracle = served
+    status, payload = client.post("/v1/degree", {"ps": [oracle.bk.n]})
+    assert status == 400
+    assert "out of range" in payload["error"]
+
+
+def test_non_edge_is_422_with_slots(served):
+    client, _, _ = served
+    status, payload = client.post("/v1/squares/edge", {"ps": [0, 0], "qs": [0, 0]})
+    assert status == 422
+    assert payload["invalid"] == [0, 1]
+    assert payload["pairs"] == [[0, 0], [0, 0]]
+    status, payload = client.post("/v1/clustering", {"ps": [0], "qs": [0]})
+    assert status == 422
+
+
+def test_mixed_batch_names_only_invalid_slots(served, edges_i):
+    """One bad pair in a batch: 422 names its slot, not the whole batch."""
+    client, _, _ = served
+    ep, eq = edges_i
+    status, payload = client.post(
+        "/v1/squares/edge", {"ps": [int(ep[0]), 0], "qs": [int(eq[0]), 0]}
+    )
+    assert status == 422
+    assert payload["invalid"] == [1]
+
+
+def test_unknown_endpoint_404_wrong_method_405(served):
+    client, _, _ = served
+    assert client.get("/v1/nonsense")[0] == 404
+    assert client.get("/v1/degree")[0] == 405
+    assert client.post("/v1/global", {})[0] == 405
+    assert client.post("/healthz", {})[0] == 405
+
+
+def test_saturated_service_sheds_503(oracle_i):
+    """max_queue=0 + no workers: every query sheds with 503 + counter."""
+    service = OracleService(oracle_i, max_queue=0, cache_size=0)  # not started
+    server, client = _serve(service)
+    try:
+        before = service.stats()["shed"]
+        status, payload = client.post("/v1/degree", {"ps": [0]})
+        assert status == 503
+        assert "back off and retry" in payload["error"]
+        status, _ = client.get("/v1/global")
+        assert status == 503
+        assert service.stats()["shed"] == before + 2
+        # Liveness endpoints keep answering while queries shed.
+        assert client.get("/healthz")[0] == 200
+        assert client.get("/metrics")[0] == 200
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_keep_alive_survives_errors(served):
+    """Errors mid-connection never desync subsequent requests."""
+    client, _, oracle = served
+    for _ in range(3):
+        assert client.post("/v1/degree", None, raw=b"xx")[0] == 400
+        status, body = client.post("/v1/degree", {"ps": [0]})
+        assert (status, body["degrees"]) == (200, [oracle.degree(0)])
+
+
+def test_answers_bit_identical_under_concurrency(served, edges_i):
+    client, _, oracle = served
+    ep, eq = edges_i
+    expected = oracle.squares_at_edges(ep, eq).tolist()
+    errors: list[str] = []
+
+    def worker(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            idx = rng.integers(0, ep.size, size=3).tolist()
+            status, body = client.post(
+                "/v1/squares/edge",
+                {"ps": [int(ep[i]) for i in idx], "qs": [int(eq[i]) for i in idx]},
+            )
+            if status != 200 or body["squares"] != [expected[i] for i in idx]:
+                errors.append(f"{status}: {body}")
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:3]

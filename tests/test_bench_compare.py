@@ -1,0 +1,114 @@
+"""The bench-compare perf gate: warn-only vs enforced ``--max-regression``."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_COMPARE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE_PATH)
+assert _spec is not None and _spec.loader is not None
+bench_compare = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_compare", bench_compare)
+_spec.loader.exec_module(bench_compare)
+
+compare = bench_compare.compare
+
+
+def _record(rows):
+    """A minimal but schema-valid run record carrying bench rows."""
+    return {
+        "schema_version": 1,
+        "run_id": "test",
+        "name": "bench test",
+        "created_at": "2026-01-01T00:00:00+00:00",
+        "config": {},
+        "env": {},
+        "spans": [],
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "benches": rows,
+    }
+
+
+def _row(bench, quick=False, **fields):
+    return {"bench": bench, "quick": quick, **fields}
+
+
+def test_warn_only_never_fails():
+    base = _record([_row("b1", queries_per_s=100.0)])
+    curr = _record([_row("b1", queries_per_s=10.0)])
+    lines, failures = compare(base, curr, warn_threshold=0.2)
+    assert failures == []
+    assert any("WARN" in line for line in lines)
+
+
+def test_gate_fails_on_same_mode_regression():
+    base = _record([_row("b1", quick=True, queries_per_s=100.0)])
+    curr = _record([_row("b1", quick=True, queries_per_s=60.0)])
+    _, failures = compare(base, curr, 0.2, max_regression=0.25)
+    assert len(failures) == 1
+    assert "b1.queries_per_s" in failures[0]
+
+
+def test_gate_passes_within_tolerance():
+    base = _record([_row("b1", quick=True, queries_per_s=100.0, seconds=1.0)])
+    curr = _record([_row("b1", quick=True, queries_per_s=80.0, seconds=1.2)])
+    _, failures = compare(base, curr, 0.2, max_regression=0.25)
+    assert failures == []
+
+
+def test_gate_enforces_seconds_direction():
+    """For ``seconds`` lower is better: a slowdown past tolerance fails."""
+    base = _record([_row("b1", quick=True, seconds=1.0)])
+    curr = _record([_row("b1", quick=True, seconds=2.0)])
+    _, failures = compare(base, curr, 0.2, max_regression=0.25)
+    assert len(failures) == 1 and "b1.seconds" in failures[0]
+    # A speedup never fails.
+    _, failures = compare(curr, base, 0.2, max_regression=0.25)
+    assert failures == []
+
+
+def test_gate_mode_mismatch_is_advisory():
+    """Full-mode committed baseline vs quick CI run: advisory, exit 0."""
+    base = _record([_row("b1", quick=False, queries_per_s=100.0)])
+    curr = _record([_row("b1", quick=True, queries_per_s=5.0)])
+    lines, failures = compare(base, curr, 0.2, max_regression=0.25)
+    assert failures == []
+    assert any("mode mismatch" in line for line in lines)
+
+
+def test_gate_fails_on_missing_bench():
+    base = _record([_row("b1", quick=True, queries_per_s=100.0)])
+    curr = _record([])
+    _, failures = compare(base, curr, 0.2, max_regression=0.25)
+    assert failures == ["b1: missing from current record"]
+    # Warn-only mode shrugs.
+    _, failures = compare(base, curr, 0.2)
+    assert failures == []
+
+
+def test_new_bench_without_baseline_is_fine():
+    base = _record([])
+    curr = _record([_row("b1", quick=True, queries_per_s=100.0)])
+    _, failures = compare(base, curr, 0.2, max_regression=0.25)
+    assert failures == []
+
+
+@pytest.mark.parametrize("flag,expected", [(None, 0), (0.25, 1)])
+def test_main_exit_codes(tmp_path, capsys, flag, expected):
+    import json
+
+    base = _record([_row("b1", quick=True, queries_per_s=100.0)])
+    curr = _record([_row("b1", quick=True, queries_per_s=10.0)])
+    base_path, curr_path = tmp_path / "base.json", tmp_path / "curr.json"
+    base_path.write_text(json.dumps(base))
+    curr_path.write_text(json.dumps(curr))
+    argv = [str(base_path), str(curr_path)]
+    if flag is not None:
+        argv += ["--max-regression", str(flag)]
+    assert bench_compare.main(argv) == expected
+    out = capsys.readouterr().out
+    assert ("perf gate FAILED" in out) == bool(expected)
