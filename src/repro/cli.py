@@ -26,6 +26,13 @@ Wraps the library's three workflows for shell users:
   packed artifact: a JSON HTTP API with request micro-batching, an LRU
   result cache, and bounded-queue load shedding (see docs/serving.md).
 * ``table1`` / ``fig5`` -- regenerate the §IV artifacts.
+* ``top`` -- live console dashboard over a ``--events-out`` JSONL log
+  (shard progress, edges/sec, ETA, retry/shed counters) or a served
+  ``/metrics`` endpoint.
+
+Every workload subcommand takes ``--profile`` / ``--metrics-out`` /
+``--events-out`` (see docs/observability.md); ``serve`` additionally
+installs a live metrics registry unconditionally.
 
 Factor specification mini-language (``FACTOR`` arguments)::
 
@@ -68,7 +75,18 @@ from repro.kronecker import (
 )
 from repro.kronecker.degrees import product_degree_summary
 from repro.kronecker.distances import product_diameter
-from repro.obs import build_run_record, get_metrics, get_tracer, instrument, render_run_record, write_run_record
+from repro.obs import (
+    build_run_record,
+    disable,
+    enable,
+    events_to,
+    get_metrics,
+    get_tracer,
+    instrument,
+    is_enabled,
+    render_run_record,
+    write_run_record,
+)
 
 __all__ = ["main", "parse_factor"]
 
@@ -125,6 +143,25 @@ def _build_product(args):
     )
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """The shared instrumentation flags; every subcommand gets them."""
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace spans + metrics and print the run summary to stderr",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the machine-readable JSON run record to PATH",
+    )
+    p.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="append structured JSONL telemetry events to PATH (tail with 'repro top')",
+    )
+
+
 def _add_product_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("factor_a", help="left factor spec (see --help of the top command)")
     p.add_argument("factor_b", help="right factor spec (must be bipartite)")
@@ -139,16 +176,7 @@ def _add_product_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the factor-connectivity check (formulas hold regardless)",
     )
-    p.add_argument(
-        "--profile",
-        action="store_true",
-        help="trace spans + metrics and print the run summary to stderr",
-    )
-    p.add_argument(
-        "--metrics-out",
-        metavar="PATH",
-        help="write the machine-readable JSON run record to PATH",
-    )
+    _add_obs_args(p)
 
 
 def _cmd_generate(args) -> int:
@@ -315,6 +343,22 @@ def _cmd_pack(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    # Serving is instrumented unconditionally: production telemetry
+    # (latency quantiles, status counters, /metrics?format=prometheus)
+    # must not require restarting the server with --profile.  When
+    # _run_instrumented already installed a live registry, reuse it so
+    # the shutdown run record sees the same series the server did.
+    fresh_registry = not is_enabled()
+    if fresh_registry:
+        enable()
+    try:
+        return _serve_instrumented(args)
+    finally:
+        if fresh_registry:
+            disable()
+
+
+def _serve_instrumented(args) -> int:
     from repro.serve import OracleService, artifact_info, build_server, load_oracle
 
     tracer = get_tracer()
@@ -422,6 +466,21 @@ def _cmd_report(args) -> int:
     ]
     print(("\n\n" + "=" * 78 + "\n\n").join(sections))
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    if bool(args.events) == bool(args.url):
+        print("error: pass exactly one of --events PATH or --url URL", file=sys.stderr)
+        return 2
+    return run_top(
+        events=args.events,
+        url=args.url,
+        interval=args.interval,
+        once=args.once,
+        duration=args.duration,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -543,16 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument(
         "--no-chains", action="store_true", help="skip the multi-factor chain checks"
     )
-    v.add_argument(
-        "--profile",
-        action="store_true",
-        help="trace spans + metrics and print the run summary to stderr",
-    )
-    v.add_argument(
-        "--metrics-out",
-        metavar="PATH",
-        help="write the machine-readable JSON run record to PATH",
-    )
+    _add_obs_args(v)
     v.set_defaults(fn=_cmd_verify)
 
     pk = sub.add_parser(
@@ -590,25 +640,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="LRU result-cache entries (0 disables caching)",
     )
-    sv.add_argument(
-        "--profile",
-        action="store_true",
-        help="trace spans + metrics and print the run summary to stderr",
-    )
-    sv.add_argument(
-        "--metrics-out",
-        metavar="PATH",
-        help="write the machine-readable JSON run record to PATH on shutdown",
-    )
+    _add_obs_args(sv)
     sv.set_defaults(fn=_cmd_serve)
 
     t = sub.add_parser("table1", help="regenerate the paper's Table I")
     t.add_argument("--factor", help="factor spec (default: konect-unicode stand-in)")
+    _add_obs_args(t)
     t.set_defaults(fn=_cmd_table1)
 
     f = sub.add_parser("fig5", help="regenerate the paper's Fig 5 series")
     f.add_argument("--factor", help="factor spec (default: konect-unicode stand-in)")
     f.add_argument("--bins", type=int, default=12, help="log bins in the text rendering")
+    _add_obs_args(f)
     f.set_defaults(fn=_cmd_fig5)
 
     d = sub.add_parser("design", help="search factor pairs for target product statistics")
@@ -616,12 +659,48 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--edges", type=int, help="target product edge count")
     d.add_argument("--squares", type=int, help="target product global 4-cycle count")
     d.add_argument("--top", type=int, default=5, help="how many candidates to print")
+    _add_obs_args(d)
     d.set_defaults(fn=_cmd_design)
 
     r = sub.add_parser("report", help="regenerate every paper artifact in one run")
     r.add_argument("--factor", help="factor spec (default: konect-unicode stand-in)")
     r.add_argument("--bins", type=int, default=12, help="log bins for the Fig 5 rendering")
+    _add_obs_args(r)
     r.set_defaults(fn=_cmd_report)
+
+    tp = sub.add_parser(
+        "top",
+        help="live console dashboard over an event log or a served /metrics",
+    )
+    tp.add_argument(
+        "--events",
+        metavar="PATH",
+        help="JSONL event log to tail (written by --events-out)",
+    )
+    tp.add_argument(
+        "--url",
+        metavar="URL",
+        help="base URL of a running 'repro serve' to poll (e.g. http://127.0.0.1:8571)",
+    )
+    tp.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds (default 1.0)",
+    )
+    tp.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing; for scripts/tests)",
+    )
+    tp.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long (default: run until Ctrl-C)",
+    )
+    tp.set_defaults(fn=_cmd_top)
     return parser
 
 
@@ -675,13 +754,14 @@ def main(argv=None) -> int:
     ``SystemExit(2)`` with a usage message — never a raw traceback.
     """
     args = build_parser().parse_args(argv)
-    if getattr(args, "profile", False) or getattr(args, "metrics_out", None):
-        return _run_instrumented(args)
-    try:
-        return args.fn(args)
-    except (ValueError, OSError, argparse.ArgumentTypeError) as exc:
-        _print_error(exc)
-        return 2
+    with events_to(getattr(args, "events_out", None)):
+        if getattr(args, "profile", False) or getattr(args, "metrics_out", None):
+            return _run_instrumented(args)
+        try:
+            return args.fn(args)
+        except (ValueError, OSError, argparse.ArgumentTypeError) as exc:
+            _print_error(exc)
+            return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

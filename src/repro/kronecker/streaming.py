@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.kronecker import kernels
 from repro.kronecker.assumptions import BipartiteKronecker
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_events, get_metrics, get_tracer
 
 __all__ = ["stream_edges", "streamed_connectivity_audit"]
 
@@ -68,6 +68,9 @@ def stream_edges(
         edges_streamed = metrics.counter("edges_streamed_total")
         blocks_streamed = metrics.counter("stream.blocks_total")
         block_bytes = metrics.histogram("stream.block_size_bytes")
+    # Event emission is gated the same way: one boolean per block.
+    events = get_events()
+    emitting = events.enabled
 
     m_coo = M.adj.tocoo()
     m_rows = m_coo.row.astype(np.int64)
@@ -109,6 +112,8 @@ def stream_edges(
             if tracking:
                 edges_streamed.inc(p.size)
                 blocks_streamed.inc()
+            if emitting:
+                events.emit("stream.block", edges=int(p.size), chunked=True)
             if not attach_ground_truth:
                 if tracking:
                     block_bytes.observe(p.nbytes + q.nbytes)
@@ -129,6 +134,8 @@ def stream_edges(
         if tracking:
             edges_streamed.inc(p.size)
             blocks_streamed.inc()
+        if emitting:
+            events.emit("stream.block", edges=int(p.size), chunked=False)
         if not attach_ground_truth:
             if tracking:
                 block_bytes.observe(p.nbytes + q.nbytes)

@@ -1,29 +1,45 @@
-"""Structured observability: spans, metrics, machine-readable run records.
+"""Structured observability: spans, metrics, events, run records, exposition.
 
-The measurement layer the ROADMAP's scaling work hangs off.  Three
+The measurement layer the ROADMAP's scaling work hangs off.  Five
 pieces, one switch:
 
 * :mod:`repro.obs.span` — nested, named, thread-safe :class:`Span`
   timing (subsumes the old ``repro.utils.timing.Timer``, which is now a
   thin alias) collected into trees by a :class:`Tracer`.
 * :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
-  of counters / gauges / histograms with snapshot-merge hooks for
-  ``ProcessPoolExecutor`` workers.
+  of labeled counters / gauges / fixed-bucket quantile histograms with
+  exact snapshot-merge across ``ProcessPoolExecutor`` workers.
+* :mod:`repro.obs.events` — a bounded-ring :class:`EventLog` flushing
+  schema-versioned JSONL telemetry events (shard lifecycle, retries,
+  queue shed, cache eviction) that ``repro top`` tails live.
 * :mod:`repro.obs.record` — exporters: a human console tree and a
   JSON *run record* (run id, git rev, config, env, spans, metrics)
   that the benchmark harness persists as ``BENCH_<name>.json``.
+* :mod:`repro.obs.prom` — Prometheus text exposition + scrape-format
+  lint behind ``repro serve``'s ``/metrics?format=prometheus``.
 
 Instrumentation is **off by default**: :func:`get_tracer` /
-:func:`get_metrics` return null implementations whose methods are
-no-ops, so the instrumented hot paths (streaming, oracle, parallel)
-cost nothing extra in correctness runs.  Turn it on with the scoped
-:func:`instrument` context manager (what the CLI's ``--profile`` /
-``--metrics-out`` flags do) or process-wide :func:`enable`.
+:func:`get_metrics` / :func:`get_events` return null implementations
+whose methods are no-ops, so the instrumented hot paths (streaming,
+oracle, parallel) cost nothing extra in correctness runs.  Turn it on
+with the scoped :func:`instrument` / :func:`events_to` context managers
+(what the CLI's ``--profile`` / ``--metrics-out`` / ``--events-out``
+flags do) or process-wide :func:`enable`.  The one exception is
+``repro serve``, which installs a live registry unconditionally —
+production serving must be observable without a restart.
 
 Naming conventions and the record schema live in docs/observability.md.
 """
 
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    NULL_EVENTS,
+    EventLog,
+    NullEventLog,
+    read_events,
+)
 from repro.obs.metrics import (
+    HISTOGRAM_BUCKET_BOUNDS,
     NULL_REGISTRY,
     Counter,
     Gauge,
@@ -31,7 +47,10 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
     merge_snapshots,
+    parse_series_key,
+    series_key,
 )
+from repro.obs.prom import lint_exposition, render_prometheus
 from repro.obs.record import (
     SCHEMA_VERSION,
     build_run_record,
@@ -42,7 +61,16 @@ from repro.obs.record import (
     validate_run_record,
     write_run_record,
 )
-from repro.obs.runtime import disable, enable, get_metrics, get_tracer, instrument, is_enabled
+from repro.obs.runtime import (
+    disable,
+    enable,
+    events_to,
+    get_events,
+    get_metrics,
+    get_tracer,
+    instrument,
+    is_enabled,
+)
 from repro.obs.span import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -57,7 +85,17 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "HISTOGRAM_BUCKET_BOUNDS",
     "merge_snapshots",
+    "series_key",
+    "parse_series_key",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENTS",
+    "EVENTS_SCHEMA",
+    "read_events",
+    "render_prometheus",
+    "lint_exposition",
     "SCHEMA_VERSION",
     "build_run_record",
     "collect_env",
@@ -68,7 +106,9 @@ __all__ = [
     "write_run_record",
     "get_tracer",
     "get_metrics",
+    "get_events",
     "instrument",
+    "events_to",
     "enable",
     "disable",
     "is_enabled",

@@ -215,10 +215,13 @@ def render_run_record(record: dict[str, Any], file=None) -> str:
         lines.append("-- histograms --")
         for name in sorted(m["histograms"]):
             s = m["histograms"][name]
-            lines.append(
+            line = (
                 f"  {name:<38} n={s['count']} mean={s['mean']:.6g} "
                 f"min={s['min']:.6g} max={s['max']:.6g}"
             )
+            if "p50" in s:
+                line += f" p50={s['p50']:.6g} p99={s['p99']:.6g}"
+            lines.append(line)
     text = "\n".join(lines)
     if file is not None:
         print(text, file=file)

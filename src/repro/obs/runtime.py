@@ -15,14 +15,25 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.obs.span import NULL_TRACER, NullTracer, Tracer
 
-__all__ = ["get_tracer", "get_metrics", "is_enabled", "enable", "disable", "instrument"]
+__all__ = [
+    "get_tracer",
+    "get_metrics",
+    "get_events",
+    "is_enabled",
+    "enable",
+    "disable",
+    "instrument",
+    "events_to",
+]
 
 _lock = threading.Lock()
 _tracer: Tracer | NullTracer = NULL_TRACER
 _metrics: MetricsRegistry | NullRegistry = NULL_REGISTRY
+_events: EventLog | NullEventLog = NULL_EVENTS
 
 
 def get_tracer() -> Tracer | NullTracer:
@@ -33,6 +44,11 @@ def get_tracer() -> Tracer | NullTracer:
 def get_metrics() -> MetricsRegistry | NullRegistry:
     """The process-wide metrics registry (null unless instrumentation is on)."""
     return _metrics
+
+
+def get_events() -> EventLog | NullEventLog:
+    """The process-wide event log (null unless :func:`events_to` is active)."""
+    return _events
 
 
 def is_enabled() -> bool:
@@ -76,3 +92,35 @@ def instrument() -> Iterator[tuple[Tracer, MetricsRegistry]]:
     finally:
         with _lock:
             _tracer, _metrics = prev
+
+
+@contextmanager
+def events_to(path: str | None, **kwargs: object) -> Iterator[EventLog | NullEventLog]:
+    """Scoped structured-event logging to a JSONL file.
+
+    Installs a live :class:`EventLog` appending to ``path`` so that
+    ``get_events()`` call sites (shard generation, retry loop, streaming,
+    serving) emit for the duration; restores the previous log and
+    flushes/closes the new one on exit.  ``path=None`` is a no-op
+    passthrough of the current log, which keeps call sites branch-free::
+
+        with events_to(args.events_out):
+            ...
+
+    Extra ``kwargs`` go to the :class:`EventLog` constructor
+    (``capacity``, ``flush_interval``, ``run_id``).
+    """
+    global _events
+    if path is None:
+        yield _events
+        return
+    log = EventLog(path, **kwargs)  # type: ignore[arg-type]
+    with _lock:
+        prev_events = _events
+        _events = log
+    try:
+        yield log
+    finally:
+        with _lock:
+            _events = prev_events
+        log.close()

@@ -34,7 +34,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
-from repro.obs import get_metrics
+from repro.obs import get_events, get_metrics
 
 __all__ = [
     "FaultInjectedError",
@@ -180,13 +180,27 @@ def map_with_retry(
     :class:`RetryBudgetExceeded` is raised for tasks that ran dry.
 
     Emits ``<metric_prefix>.retries_total`` and
-    ``<metric_prefix>.task_failures_total`` on the ambient registry.
+    ``<metric_prefix>.task_failures_total`` on the ambient registry, and
+    per-task lifecycle events (``task.completed`` / ``task.failed`` /
+    ``task.retried`` / ``task.budget_exhausted``, each tagged
+    ``area=<metric_prefix>``) on the ambient event log.
     """
     policy = policy or RetryPolicy()
     metrics = get_metrics()
+    events = get_events()
     results: dict[Any, Any] = {}
     attempts: dict[Any, int] = {key: 0 for key, _ in tasks}
     pending: list[tuple[Any, tuple]] = list(tasks)
+
+    def _completed(key: Any, result: Any) -> None:
+        results[key] = result
+        if events.enabled:
+            events.emit(
+                "task.completed", area=metric_prefix, key=str(key), attempt=attempts[key]
+            )
+        if on_success is not None:
+            on_success(key, result)
+
     while pending:
         failed: list[tuple[Any, tuple, BaseException]] = []
         if n_workers <= 1:
@@ -197,9 +211,7 @@ def map_with_retry(
                 except Exception as exc:
                     failed.append((key, args, exc))
                 else:
-                    results[key] = result
-                    if on_success is not None:
-                        on_success(key, result)
+                    _completed(key, result)
         else:
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 futures = {
@@ -215,9 +227,7 @@ def map_with_retry(
                         # recreated on the next round.
                         failed.append((key, args, exc))
                     else:
-                        results[key] = result
-                        if on_success is not None:
-                            on_success(key, result)
+                        _completed(key, result)
         if not failed:
             break
         metrics.counter(f"{metric_prefix}.task_failures_total").inc(len(failed))
@@ -225,12 +235,37 @@ def map_with_retry(
         round_delay = 0.0
         for key, args, exc in failed:
             attempt = attempts[key]
+            if events.enabled:
+                events.emit(
+                    "task.failed",
+                    area=metric_prefix,
+                    key=str(key),
+                    attempt=attempt,
+                    error=repr(exc),
+                )
             if attempt >= policy.max_retries:
+                if events.enabled:
+                    events.emit(
+                        "task.budget_exhausted",
+                        area=metric_prefix,
+                        key=str(key),
+                        attempts=attempt + 1,
+                    )
+                    events.flush()
                 raise RetryBudgetExceeded(key, attempt + 1, exc, n_failed=len(failed))
             metrics.counter(f"{metric_prefix}.retries_total").inc()
-            round_delay = max(round_delay, policy.delay(attempt, token=key))
+            delay = policy.delay(attempt, token=key)
+            round_delay = max(round_delay, delay)
             attempts[key] = attempt + 1
             pending.append((key, args))
+            if events.enabled:
+                events.emit(
+                    "task.retried",
+                    area=metric_prefix,
+                    key=str(key),
+                    next_attempt=attempt + 1,
+                    delay_s=round(delay, 6),
+                )
         if round_delay > 0:
             time.sleep(round_delay)
     return results

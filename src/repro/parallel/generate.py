@@ -38,7 +38,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.kronecker.assumptions import BipartiteKronecker
-from repro.obs import MetricsRegistry, get_metrics, get_tracer
+from repro.obs import MetricsRegistry, get_events, get_metrics, get_tracer
 from repro.parallel.faults import FaultInjector, RetryPolicy, map_with_retry
 from repro.parallel.manifest import (
     MANIFEST_NAME,
@@ -189,6 +189,7 @@ def generate_shards(
         for index in sorted(set(manifest.shards) - done):
             del manifest.shards[index]
     metrics = get_metrics()
+    events = get_events()
     with get_tracer().span(
         "parallel.generate_shards",
         n_shards=len(slices),
@@ -198,6 +199,20 @@ def generate_shards(
     ) as sp:
         metrics.counter("parallel.generate.shards_skipped_total").inc(len(done))
         write_manifest(manifest, manifest_path)
+        total_entries = bk.M.nnz * bk.B.graph.nnz
+        if events.enabled:
+            events.emit(
+                "shards.planned",
+                n_shards=len(slices),
+                n_workers=n_workers,
+                skipped=len(done),
+                total_entries=int(total_entries),
+                ground_truth=ground_truth,
+                resume=resume,
+            )
+            for index in sorted(done):
+                entry = manifest.shards[index]
+                events.emit("shard.skipped", index=index, entries=entry.entries)
         tasks = [
             (k, (bk, k, start, stop, str(paths[k]), ground_truth))
             for k, (start, stop) in enumerate(slices)
@@ -207,6 +222,10 @@ def generate_shards(
         def on_success(key: int, result) -> None:
             entries, nbytes, checksum, snap = result
             metrics.merge_snapshot(snap)
+            if events.enabled:
+                events.emit(
+                    "shard.completed", index=key, entries=entries, bytes=nbytes
+                )
             start, stop = slices[key]
             manifest.add(
                 ShardEntry(
@@ -231,6 +250,11 @@ def generate_shards(
             on_success=on_success,
         )
         sp.set(shards_written=len(tasks), shards_skipped=len(done))
+        if events.enabled:
+            events.emit(
+                "shards.finished", written=len(tasks), skipped=len(done)
+            )
+            events.flush()
     return paths
 
 

@@ -12,7 +12,8 @@ endpoint                     method  body / response
 ``/v1/clustering``           POST    ``{"ps": [..], "qs": [..]}`` → ``{"clustering": [..]}``
 ``/v1/global``               GET     ``{"squares": N}``
 ``/healthz``                 GET     liveness + artifact summary
-``/metrics``                 GET     service tallies + obs snapshot
+``/metrics``                 GET     service tallies + obs snapshot (JSON)
+``/metrics?format=prometheus``  GET  text exposition with quantiles
 ===========================  ======  =====================================
 
 Scalar sugar: ``{"p": 3}`` / ``{"q": 7}`` are accepted anywhere a
@@ -28,9 +29,13 @@ one-element list would be.  Status mapping:
 * **503** -- load shed (:class:`~repro.serve.service.Overloaded`),
   with a ``Retry-After`` header.
 
-Every request is instrumented through :mod:`repro.obs`: per-endpoint
-latency histograms (``serve.http.latency_s.<endpoint>``) and response
-counters by status class.
+Every request is instrumented through :mod:`repro.obs` with labeled
+series: a per-endpoint latency histogram
+(``serve.http.latency_seconds{endpoint=...}``) and a response counter
+by endpoint and status (``serve.http.responses_total{endpoint=...,
+status=...}``).  ``repro serve`` installs a live registry
+unconditionally, so these record in production — not only under
+``--profile``.
 """
 
 from __future__ import annotations
@@ -39,13 +44,26 @@ import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
+from urllib.parse import parse_qs
 
 import numpy as np
 
-from repro.obs import get_metrics
+from repro.obs import get_metrics, render_prometheus
 from repro.serve.service import INVALID_SQUARES, OracleService, Overloaded
 
 __all__ = ["OracleHTTPServer", "build_server"]
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Raw:
+    """A non-JSON response body with an explicit content type."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: str, content_type: str):
+        self.body = body.encode("utf-8")
+        self.content_type = content_type
 
 
 class _HTTPError(Exception):
@@ -98,13 +116,13 @@ class _OracleHandler(BaseHTTPRequestHandler):
 
     def _handle(self, method: str) -> None:
         t0 = time.perf_counter()
-        path = self.path.split("?", 1)[0]
+        path, _, raw_query = self.path.partition("?")
         status = 500
         try:
             # Always drain the body first: with HTTP/1.1 keep-alive an
             # unread body would desync the next request on the socket.
             self._body = self._read_body()
-            status, payload = self._route(method, path)
+            status, payload = self._route(method, path, parse_qs(raw_query))
         except _HTTPError as exc:
             status, payload = exc.status, exc.payload
         except Overloaded as exc:
@@ -116,13 +134,17 @@ class _OracleHandler(BaseHTTPRequestHandler):
         finally:
             metrics = get_metrics()
             label = _endpoint_label(path)
-            metrics.histogram(f"serve.http.latency_s.{label}").observe(
+            metrics.histogram("serve.http.latency_seconds", endpoint=label).observe(
                 time.perf_counter() - t0
             )
-            metrics.counter(f"serve.http.responses_total.{status}").inc()
+            metrics.counter(
+                "serve.http.responses_total", endpoint=label, status=str(status)
+            ).inc()
         self._send(status, payload)
 
-    def _route(self, method: str, path: str) -> tuple[int, dict[str, Any]]:
+    def _route(
+        self, method: str, path: str, query: dict[str, list[str]]
+    ) -> tuple[int, dict[str, Any] | _Raw]:
         service = self.server.service
         if path == "/healthz":
             self._require_method(method, "GET")
@@ -134,6 +156,18 @@ class _OracleHandler(BaseHTTPRequestHandler):
             }
         if path == "/metrics":
             self._require_method(method, "GET")
+            fmt = (query.get("format") or ["json"])[-1]
+            if fmt == "prometheus":
+                stats = service.stats()
+                text = render_prometheus(
+                    get_metrics().snapshot(),
+                    extra_gauges={f"serve.service.{k}": v for k, v in stats.items()},
+                )
+                return 200, _Raw(text, PROM_CONTENT_TYPE)
+            if fmt != "json":
+                raise _HTTPError(
+                    400, {"error": f"unknown format {fmt!r} (expected json or prometheus)"}
+                )
             return 200, {"service": service.stats(), "metrics": get_metrics().snapshot()}
         if path == "/v1/global":
             self._require_method(method, "GET")
@@ -229,11 +263,16 @@ class _OracleHandler(BaseHTTPRequestHandler):
             "pairs": [[ps[i], qs[i]] for i in slots[:16]],
         }
 
-    def _send(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send(self, status: int, payload: dict[str, Any] | _Raw) -> None:
+        if isinstance(payload, _Raw):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             if status == 503:
                 self.send_header("Retry-After", "1")

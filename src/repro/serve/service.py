@@ -36,7 +36,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.kronecker.oracle import GroundTruthOracle
-from repro.obs import get_metrics
+from repro.obs import get_events, get_metrics
 
 __all__ = ["INVALID_SQUARES", "Overloaded", "OracleService"]
 
@@ -138,6 +138,7 @@ class OracleService:
             "shed": 0, "batches": 0, "invalid": 0,
         }
         metrics = get_metrics()
+        self._events = get_events()
         self._m_requests = metrics.counter("serve.requests_total")
         self._m_queries = metrics.counter("serve.queries_total")
         self._m_hits = metrics.counter("serve.cache_hits_total")
@@ -259,6 +260,13 @@ class OracleService:
             if len(self._pending) >= self.max_queue:
                 self._counts["shed"] += 1
                 self._m_shed.inc()
+                if self._events.enabled:
+                    self._events.emit(
+                        "serve.queue_shed",
+                        kind=kind,
+                        depth=len(self._pending),
+                        max_queue=self.max_queue,
+                    )
                 raise Overloaded(
                     f"queue depth {len(self._pending)} at max_queue={self.max_queue}; "
                     "back off and retry"
@@ -289,11 +297,17 @@ class OracleService:
     def _cache_put(self, key: tuple, value: Any) -> None:
         if not self.cache_size:
             return
+        evicted = 0
         with self._lock:
             self._cache[key] = value
             self._cache.move_to_end(key)
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
+                evicted += 1
+        if evicted and self._events.enabled:
+            self._events.emit(
+                "serve.cache_evicted", entries=evicted, cache_size=self.cache_size
+            )
 
     # ------------------------------------------------------------------
     # Batcher

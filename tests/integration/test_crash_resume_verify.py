@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.generators import complete_bipartite, cycle_graph
+from repro.obs import events_to, read_events
 from repro.kronecker import Assumption, make_bipartite_product
 from repro.parallel import (
     FaultInjector,
@@ -78,6 +79,45 @@ def test_resumed_run_passes_brute_force_spot_checks(bk, tmp_path):
         assert val == dia_ref[(min(p, q), max(p, q))]
         seen.add((min(p, q), max(p, q)))
     assert seen == set(dia_ref)  # every undirected edge spot-checked
+
+
+def test_crash_resume_leaves_clean_event_log(bk, tmp_path):
+    """The crash drill's telemetry contract: an interrupted run flushes a
+    strictly-parseable JSONL event log (no torn tail line), and the
+    resumed run appends its own lifecycle — including ``shard.skipped``
+    for the shards recovered from the manifest."""
+    crash_dir = tmp_path / "crash"
+    log = tmp_path / "events.jsonl"
+    with events_to(str(log)):
+        with pytest.raises(RetryBudgetExceeded):
+            generate_shards(
+                bk, crash_dir, n_shards=N_SHARDS, n_workers=2, ground_truth=True,
+                retry=RetryPolicy(max_retries=0, base_delay=0.0),
+                fault_injector=FaultInjector(**CRASH),
+            )
+    raw = log.read_bytes()
+    assert raw and raw.endswith(b"\n"), "crashed run left a torn tail line"
+    crash_events = read_events(log, strict=True)  # every line parses
+    crash_kinds = {e["kind"] for e in crash_events}
+    assert {"shards.planned", "task.failed", "task.budget_exhausted"} <= crash_kinds
+    n_completed = sum(1 for e in crash_events if e["kind"] == "shard.completed")
+    assert n_completed == len(load_manifest(crash_dir).shards)
+
+    with events_to(str(log)):
+        generate_shards(
+            bk, crash_dir, n_shards=N_SHARDS, n_workers=2, ground_truth=True, resume=True
+        )
+    events = read_events(log, strict=True)
+    resumed = events[len(crash_events):]
+    resumed_kinds = {e["kind"] for e in resumed}
+    assert {"shards.planned", "shard.skipped", "shard.completed", "shards.finished"} <= resumed_kinds
+    skipped = {e["index"] for e in resumed if e["kind"] == "shard.skipped"}
+    completed = {e["index"] for e in resumed if e["kind"] == "shard.completed"}
+    assert len(skipped) == n_completed  # exactly the recovered shards
+    assert skipped | completed == set(range(N_SHARDS))
+    assert not (skipped & completed)
+    # Every event carries the versioned envelope.
+    assert all(e["schema"] == "repro.events/1" for e in events)
 
 
 def test_resume_with_ground_truth_under_self_loops(tmp_path):

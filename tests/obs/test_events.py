@@ -1,0 +1,213 @@
+"""Event log: ring bounds, JSONL flushing, crash safety, runtime wiring."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    EVENTS_SCHEMA,
+    NULL_EVENTS,
+    EventLog,
+    events_to,
+    get_events,
+    read_events,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestEmit:
+    def test_event_envelope(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl", run_id="abc123") as log:
+            event = log.emit("shard.completed", index=3, entries=12)
+        assert event["schema"] == EVENTS_SCHEMA
+        assert event["run_id"] == "abc123"
+        assert event["pid"] == os.getpid()
+        assert event["kind"] == "shard.completed"
+        assert event["seq"] == 0
+        assert event["index"] == 3 and event["entries"] == 12
+        assert isinstance(event["t"], float) and isinstance(event["mono"], float)
+
+    def test_seq_is_monotonic(self):
+        log = EventLog()
+        seqs = [log.emit("tick")["seq"] for _ in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_reserved_keys_not_overridable(self):
+        event = EventLog(run_id="real").emit("k", run_id="fake", schema="bogus", seq=99)
+        assert event["run_id"] == "real"
+        assert event["schema"] == EVENTS_SCHEMA
+        assert event["seq"] == 0
+
+    def test_ring_bound_drops_oldest(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path, capacity=3, flush_interval=60.0)
+        # Stop the background flusher from draining under us: emit with a
+        # huge interval and no wake processing between emits is racy, so
+        # drive a pathless log instead (pure ring behaviour).
+        log2 = EventLog(capacity=3)
+        for i in range(10):
+            log2.emit("tick", i=i)
+        assert log2.dropped == 7
+        assert [e["i"] for e in log2.tail()] == [7, 8, 9]
+        log.close()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_tail_without_path(self):
+        log = EventLog()
+        for i in range(4):
+            log.emit("tick", i=i)
+        assert [e["i"] for e in log.tail(2)] == [2, 3]
+
+
+class TestFlush:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            for i in range(20):
+                log.emit("tick", i=i)
+        events = read_events(path, strict=True)
+        assert [e["i"] for e in events] == list(range(20))
+        assert all(e["schema"] == EVENTS_SCHEMA for e in events)
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path, run_id="first") as log:
+            log.emit("a")
+        with EventLog(path, run_id="second") as log:
+            log.emit("b")
+        events = read_events(path, strict=True)
+        assert [(e["run_id"], e["kind"]) for e in events] == [("first", "a"), ("second", "b")]
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path)
+        log.emit("before")
+        log.close()
+        log.emit("after")
+        log.close()  # idempotent
+        assert [e["kind"] for e in read_events(path)] == ["before"]
+
+    def test_background_flusher_writes_without_close(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path, flush_interval=0.02)
+        log.emit("tick")
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if path.exists() and path.read_text().strip():
+                break
+            time.sleep(0.02)
+        assert [e["kind"] for e in read_events(path)] == ["tick"]
+        log.close()
+
+
+class TestCrashSafety:
+    def test_sigkilled_writer_tears_at_most_the_final_line(self, tmp_path):
+        """SIGKILL mid-emission: the single-os.write discipline means
+        every line but (at most) the last is complete — a kill racing
+        the write syscall itself can truncate only the final line, and
+        a kill between flushes loses only unflushed whole events.  The
+        integration crash-resume drill asserts the stronger parent-side
+        guarantee (no torn line at all when workers, not the writer,
+        die)."""
+        path = tmp_path / "e.jsonl"
+        code = textwrap.dedent(
+            """
+            import sys
+            from repro.obs import EventLog
+            log = EventLog(sys.argv[1], flush_interval=0.001)
+            i = 0
+            while True:
+                log.emit("spin", i=i, payload="x" * 200)
+                i += 1
+            """
+        )
+        env = {**os.environ, "PYTHONPATH": REPO_SRC + os.pathsep + os.environ.get("PYTHONPATH", "")}
+        proc = subprocess.Popen([sys.executable, "-c", code, str(path)], env=env)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if path.exists() and path.stat().st_size > 20_000:
+                break
+            time.sleep(0.01)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        raw = path.read_bytes()
+        assert raw, "writer never flushed"
+        complete, _, torn_tail = raw.rpartition(b"\n")
+        whole = tmp_path / "whole.jsonl"
+        whole.write_bytes(complete + b"\n")
+        events = read_events(whole, strict=True)  # every complete line parses
+        assert events, "no complete events survived"
+        assert [e["i"] for e in events] == list(range(len(events)))
+        if torn_tail:  # only the in-flight final write may be cut short
+            assert b"\n" not in torn_tail
+
+
+class TestReadEvents:
+    def test_skips_torn_lines_by_default(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"kind": "ok", "i": 1}\n{"kind": "torn", "i"\n{"kind": "ok", "i": 2}\n')
+        assert [e["i"] for e in read_events(path)] == [1, 2]
+
+    def test_strict_raises_naming_the_line(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"kind": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_events(path, strict=True)
+
+    def test_strict_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        assert read_events(path) == []
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_events(path, strict=True)
+
+
+class TestRuntimeWiring:
+    def test_null_by_default(self):
+        assert get_events() is NULL_EVENTS
+        assert not get_events().enabled
+        assert get_events().emit("anything") == {}
+        assert get_events().tail() == []
+
+    def test_events_to_installs_and_restores(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with events_to(str(path)) as log:
+            assert get_events() is log
+            assert get_events().enabled
+            get_events().emit("inside")
+        assert get_events() is NULL_EVENTS
+        # close() on exit flushed everything.
+        assert [e["kind"] for e in read_events(path, strict=True)] == ["inside"]
+
+    def test_events_to_none_is_passthrough(self):
+        with events_to(None) as log:
+            assert log is NULL_EVENTS
+            assert get_events() is NULL_EVENTS
+
+    def test_events_to_nests(self, tmp_path):
+        outer, inner = tmp_path / "outer.jsonl", tmp_path / "inner.jsonl"
+        with events_to(str(outer)) as outer_log:
+            with events_to(str(inner)):
+                get_events().emit("deep")
+            assert get_events() is outer_log
+        assert [e["kind"] for e in read_events(inner)] == ["deep"]
+        assert read_events(outer) == []
+
+    def test_json_lines_are_compact(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            log.emit("tick")
+        line = path.read_text().splitlines()[0]
+        assert ": " not in line and ", " not in line  # compact separators
+        json.loads(line)

@@ -44,7 +44,20 @@ class TestKinds:
         for v in (2.0, 4.0, 6.0):
             h.observe(v)
         s = h.summary()
-        assert s == {"count": 3, "sum": 12.0, "min": 2.0, "max": 6.0, "mean": 4.0}
+        assert (s["count"], s["sum"], s["min"], s["max"], s["mean"]) == (3, 12.0, 2.0, 6.0, 4.0)
+        # Bucketed quantiles are estimates, but clamped to the exact range.
+        assert 2.0 <= s["p50"] <= s["p90"] <= s["p99"] <= 6.0
+        assert sum(s["buckets"].values()) == 3
+
+    def test_histogram_quantiles_land_in_right_decade(self):
+        h = MetricsRegistry().histogram("latency_s")
+        for _ in range(99):
+            h.observe(0.001)
+        h.observe(10.0)
+        s = h.summary()
+        assert 0.0005 < s["p50"] < 0.005
+        assert 0.0005 < s["p90"] < 0.005
+        assert s["p99"] <= 10.0
 
     def test_empty_histogram_summary(self):
         assert MetricsRegistry().histogram("h").summary()["count"] == 0
@@ -54,6 +67,34 @@ class TestKinds:
         reg.counter("x")
         with pytest.raises(TypeError, match="already registered"):
             reg.gauge("x")
+
+    def test_labeled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("responses_total", status="200").inc(3)
+        reg.counter("responses_total", status="404").inc()
+        reg.counter("responses_total").inc(10)
+        assert reg.counter("responses_total", status="200").value == 3
+        assert reg.counter("responses_total", status="404").value == 1
+        assert reg.counter("responses_total").value == 10
+        snap = reg.snapshot()
+        assert snap["counters"]['responses_total{status="200"}'] == 3
+        assert snap["counters"]['responses_total{status="404"}'] == 1
+        assert snap["counters"]["responses_total"] == 10
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", endpoint="degree", status="200")
+        b = reg.counter("c", status="200", endpoint="degree")
+        assert a is b
+
+    def test_series_key_round_trip(self):
+        from repro.obs import parse_series_key, series_key
+
+        key = series_key("m", {"path": 'a"b\\c', "n": "1"})
+        name, labels = parse_series_key(key)
+        assert name == "m"
+        assert labels == {"path": 'a"b\\c', "n": "1"}
+        assert parse_series_key("bare") == ("bare", {})
 
 
 class TestSnapshotMerge:
@@ -93,6 +134,84 @@ class TestSnapshotMerge:
         empty.histogram("h")  # registered, never observed
         parent.merge_snapshot(empty.snapshot())
         assert parent.histogram("h").summary()["count"] == 0
+
+    def test_merge_preserves_labels(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("rt", status="200").inc(2)
+        worker.counter("rt", status="500").inc()
+        worker.histogram("lat", endpoint="degree").observe(0.5)
+        parent.merge_snapshot(worker.snapshot())
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("rt", status="200").value == 4
+        assert parent.counter("rt", status="500").value == 2
+        s = parent.histogram("lat", endpoint="degree").summary()
+        assert (s["count"], s["min"], s["max"]) == (2, 0.5, 0.5)
+
+    def test_bucketed_merge_identity(self):
+        """merge(a, b) must equal observe-all: fixed global buckets merge exactly."""
+        import random
+
+        rng = random.Random(20260808)
+        values = [rng.lognormvariate(0.0, 3.0) for _ in range(2000)]
+        direct = MetricsRegistry()
+        merged = MetricsRegistry()
+        for v in values:
+            direct.histogram("h").observe(v)
+        for lo in range(0, len(values), 500):
+            worker = MetricsRegistry()
+            for v in values[lo : lo + 500]:
+                worker.histogram("h").observe(v)
+            merged.merge_snapshot(worker.snapshot())
+        a = direct.histogram("h").summary()
+        b = merged.histogram("h").summary()
+        assert a["buckets"] == b["buckets"]
+        assert (a["count"], a["min"], a["max"]) == (b["count"], b["min"], b["max"])
+        assert a["sum"] == pytest.approx(b["sum"])
+        for q in ("p50", "p90", "p99"):
+            assert a[q] == pytest.approx(b[q])
+
+    def test_merge_partial_and_empty_worker_snapshots(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot({})  # worker died before building anything
+        parent.merge_snapshot({"counters": {"c": 1}})  # no gauges/histograms sections
+        parent.merge_snapshot({"histograms": {"h": {"count": 0}}})
+        assert parent.counter("c").value == 1
+        assert parent.histogram("h").summary()["count"] == 0
+
+    def test_merge_legacy_moments_only_summary(self):
+        """Pre-bucket snapshots (no 'buckets' key) still pool moments."""
+        parent = MetricsRegistry()
+        parent.merge_snapshot(
+            {"histograms": {"h": {"count": 2, "sum": 6.0, "min": 1.0, "max": 5.0}}}
+        )
+        s = parent.histogram("h").summary()
+        assert (s["count"], s["sum"], s["min"], s["max"]) == (2, 6.0, 1.0, 5.0)
+
+    def test_concurrent_observe_during_snapshot(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                h.observe(1.0)
+
+        workers = [threading.Thread(target=hammer) for _ in range(3)]
+        for t in workers:
+            t.start()
+        try:
+            for _ in range(50):
+                snap = reg.snapshot()
+                s = snap["histograms"]["h"]
+                # Every snapshot must be internally consistent: the bucket
+                # totals always equal the count captured under the same lock.
+                assert sum(s["buckets"].values()) == s["count"]
+                assert s["sum"] == pytest.approx(s["count"] * 1.0)
+        finally:
+            stop.set()
+            for t in workers:
+                t.join()
 
 
 class TestProcessPoolAggregation:

@@ -1,0 +1,164 @@
+"""Prometheus exposition: rendering, round-trip through the linter."""
+
+import pytest
+
+from repro.obs import (
+    HISTOGRAM_BUCKET_BOUNDS,
+    MetricsRegistry,
+    lint_exposition,
+    render_prometheus,
+)
+from repro.obs.__main__ import main as obs_main
+
+
+def _registry_with_traffic() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.http.responses_total", endpoint="v1_degree", status="200").inc(7)
+    reg.counter("serve.http.responses_total", endpoint="v1_degree", status="400").inc(2)
+    reg.gauge("serve.queue_depth").set(3)
+    h = reg.histogram("serve.http.latency_seconds", endpoint="v1_degree")
+    for v in (0.001, 0.002, 0.004, 0.05, 1.2):
+        h.observe(v)
+    return reg
+
+
+class TestRender:
+    def test_counters_render_labeled_with_type_header(self):
+        text = render_prometheus(_registry_with_traffic().snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_http_responses_total counter" in lines
+        assert 'repro_serve_http_responses_total{endpoint="v1_degree",status="200"} 7' in lines
+        assert 'repro_serve_http_responses_total{endpoint="v1_degree",status="400"} 2' in lines
+        # One TYPE line per family, no matter how many series.
+        assert lines.count("# TYPE repro_serve_http_responses_total counter") == 1
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_prometheus(_registry_with_traffic().snapshot())
+        bucket_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_serve_http_latency_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] == 5
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert "repro_serve_http_latency_seconds_count" in text
+        assert "repro_serve_http_latency_seconds_sum" in text
+
+    def test_bucket_bounds_come_from_shared_table(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        text = render_prometheus(reg.snapshot(), namespace="")
+        # The 1.0 observation lands in some bucket whose le is a real bound.
+        bounds = {repr(b) for b in HISTOGRAM_BUCKET_BOUNDS}
+        les = [
+            line.split('le="')[1].split('"')[0]
+            for line in text.splitlines()
+            if "_bucket" in line
+        ]
+        assert les, "no bucket lines rendered"
+        assert all(le == "+Inf" or le in bounds for le in les)
+
+    def test_quantiles_render_as_companion_gauge_family(self):
+        text = render_prometheus(_registry_with_traffic().snapshot())
+        assert "# TYPE repro_serve_http_latency_seconds_quantile gauge" in text
+        for q in ("0.5", "0.9", "0.99"):
+            matching = [
+                line
+                for line in text.splitlines()
+                if line.startswith("repro_serve_http_latency_seconds_quantile")
+                and f'quantile="{q}"' in line
+            ]
+            assert matching, f"missing quantile {q}"
+            assert 0.001 <= float(matching[0].rsplit(" ", 1)[1]) <= 1.2
+
+    def test_extra_gauges_and_namespace(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        text = render_prometheus(
+            reg.snapshot(), namespace="x", extra_gauges={"serve.service.cache_entries": 5}
+        )
+        assert "# TYPE x_serve_service_cache_entries gauge" in text
+        assert "x_serve_service_cache_entries 5" in text
+        assert "x_c 1" in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c\nd').inc()
+        text = render_prometheus(reg.snapshot())
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert lint_exposition(text) == []
+
+    def test_empty_snapshot_renders_empty_but_valid(self):
+        text = render_prometheus(MetricsRegistry().snapshot())
+        assert lint_exposition(text) == []
+
+
+class TestLint:
+    def test_rendered_output_round_trips(self):
+        text = render_prometheus(_registry_with_traffic().snapshot())
+        assert lint_exposition(text) == []
+
+    def test_undeclared_sample_flagged(self):
+        problems = lint_exposition("mystery_metric 1\n")
+        assert len(problems) == 1 and "no TYPE declaration" in problems[0]
+
+    def test_histogram_suffixes_resolve_to_family(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 3.5\n"
+            "h_count 2\n"
+        )
+        assert lint_exposition(text) == []
+
+    def test_non_numeric_value_flagged(self):
+        problems = lint_exposition("# TYPE c counter\nc banana\n")
+        assert any("non-numeric" in p for p in problems)
+
+    def test_special_float_values_allowed(self):
+        text = "# TYPE g gauge\ng +Inf\ng NaN\n"
+        # Duplicate series are the scraper's concern; values are valid.
+        assert lint_exposition(text) == []
+
+    def test_malformed_type_line_flagged(self):
+        problems = lint_exposition("# TYPE only_three\n")
+        assert any("malformed TYPE" in p for p in problems)
+
+    def test_unknown_family_type_flagged(self):
+        problems = lint_exposition("# TYPE c foo\n")
+        assert any("unknown family type" in p for p in problems)
+
+    def test_unparseable_sample_flagged(self):
+        problems = lint_exposition("# TYPE c counter\n{oops} 1\n")
+        assert any("unparseable" in p for p in problems)
+
+    def test_duplicate_type_flagged(self):
+        problems = lint_exposition("# TYPE c counter\n# TYPE c counter\nc 1\n")
+        assert any("duplicate TYPE" in p for p in problems)
+
+    def test_escaped_quote_inside_label_value(self):
+        text = '# TYPE c counter\nc{path="a\\"b"} 1\n'
+        assert lint_exposition(text) == []
+
+
+class TestCli:
+    def test_module_prom_lint_ok(self, tmp_path, capsys):
+        path = tmp_path / "exposition.txt"
+        path.write_text(render_prometheus(_registry_with_traffic().snapshot()))
+        assert obs_main(["--prom", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_module_prom_lint_failure(self, tmp_path, capsys):
+        path = tmp_path / "exposition.txt"
+        path.write_text("mystery 1\n")
+        assert obs_main(["--prom", str(path)]) == 1
+        assert "problem" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", ["a.b-c", "0leading", "ünïcode"])
+def test_names_sanitized_to_grammar(name):
+    reg = MetricsRegistry()
+    reg.counter(name).inc()
+    assert lint_exposition(render_prometheus(reg.snapshot())) == []

@@ -112,6 +112,66 @@ def test_pack_serve_http_round_trip(tmp_path):
     assert "shut down after" in stderr
 
 
+def test_flagless_serve_is_instrumented_by_default(tmp_path):
+    """Regression: ``repro serve`` with NO obs flags must still answer
+    ``/metrics`` with live labeled counters and a lintable Prometheus
+    exposition — the serving telemetry is always on."""
+    from repro.obs import lint_exposition
+
+    art = tmp_path / "art"
+    assert main(["pack", "complete:3", "biclique:2x3", "-o", str(art)]) == 0
+    port = _free_port()
+    env = {**os.environ, "PYTHONPATH": REPO_SRC + os.pathsep + os.environ.get("PYTHONPATH", "")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--artifact", str(art), "--port", str(port)],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    base = f"http://127.0.0.1:{port}"
+
+    def up() -> bool:
+        try:
+            with urllib.request.urlopen(base + "/healthz", timeout=1) as resp:
+                return resp.status == 200
+        except (urllib.error.URLError, ConnectionError, OSError):
+            return False
+
+    try:
+        assert _wait_for(up), "server did not come up"
+        req = urllib.request.Request(
+            base + "/v1/degree", data=json.dumps({"ps": [0]}).encode()
+        )
+        with urllib.request.urlopen(req, timeout=5) as resp:
+            assert resp.status == 200
+
+        with urllib.request.urlopen(base + "/metrics", timeout=5) as resp:
+            body = json.loads(resp.read())
+        counters = body["metrics"]["counters"]
+        assert counters, "flagless serve produced an empty counter snapshot"
+        degree_responses = [
+            key
+            for key in counters
+            if key.startswith("serve.http.responses_total") and 'status="200"' in key
+        ]
+        assert degree_responses and all(counters[k] >= 1 for k in degree_responses)
+
+        with urllib.request.urlopen(base + "/metrics?format=prometheus", timeout=5) as resp:
+            text = resp.read().decode("utf-8")
+        assert lint_exposition(text) == []
+        assert 'repro_serve_http_responses_total{endpoint="v1_degree",status="200"}' in text
+        assert 'repro_serve_http_latency_seconds_quantile{endpoint="v1_degree",quantile="0.5"}' in text
+        assert 'quantile="0.99"' in text
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+    assert rc == 0, proc.stderr.read()
+
+
 def test_serve_parser_defaults():
     from repro.cli import build_parser
 

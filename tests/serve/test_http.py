@@ -10,7 +10,9 @@ import urllib.request
 import numpy as np
 import pytest
 
+from repro.obs import instrument, lint_exposition
 from repro.serve import OracleService, build_server
+from repro.serve.http import PROM_CONTENT_TYPE
 
 
 class _Client:
@@ -36,6 +38,14 @@ class _Client:
                 return resp.status, json.loads(resp.read())
         except urllib.error.HTTPError as exc:
             return exc.code, json.loads(exc.read())
+
+    def get_raw(self, path: str):
+        """(status, text body, content-type) without JSON parsing."""
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=10) as resp:
+                return resp.status, resp.read().decode("utf-8"), resp.headers.get("Content-Type")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8"), exc.headers.get("Content-Type")
 
 
 def _serve(service, info=None):
@@ -110,6 +120,48 @@ def test_metrics_endpoint(served):
     assert status == 200
     assert body["service"]["requests"] >= 1
     assert "metrics" in body
+
+
+def test_metrics_prometheus_exposition(served):
+    """Live registry + traffic -> a lintable scrape with labeled series."""
+    client, _, _ = served
+    with instrument():
+        client.post("/v1/degree", {"ps": [0]})
+        client.post("/v1/degree", {"qs": [0]})  # a 400, for the status label
+        status, text, content_type = client.get_raw("/metrics?format=prometheus")
+    assert status == 200
+    assert content_type == PROM_CONTENT_TYPE
+    assert lint_exposition(text) == []
+    lines = text.splitlines()
+
+    def sample(fragment):
+        return [line for line in lines if fragment in line and not line.startswith("#")]
+
+    ok = sample('repro_serve_http_responses_total{endpoint="v1_degree",status="200"}')
+    bad = sample('repro_serve_http_responses_total{endpoint="v1_degree",status="400"}')
+    assert ok and int(ok[0].rsplit(" ", 1)[1]) >= 1
+    assert bad and int(bad[0].rsplit(" ", 1)[1]) >= 1
+    for q in ("0.5", "0.99"):
+        assert sample(f'repro_serve_http_latency_seconds_quantile{{endpoint="v1_degree",quantile="{q}"}}')
+    # Service tallies ride along as gauges in the same scrape.
+    assert sample("repro_serve_service_requests")
+
+
+def test_metrics_prometheus_works_on_null_registry(served):
+    """No instrumentation installed: exposition is valid, service gauges only."""
+    client, _, _ = served
+    client.post("/v1/degree", {"ps": [0]})
+    status, text, _ = client.get_raw("/metrics?format=prometheus")
+    assert status == 200
+    assert lint_exposition(text) == []
+    assert "repro_serve_service_requests" in text
+
+
+def test_metrics_unknown_format_is_400(served):
+    client, _, _ = served
+    status, body = client.get("/metrics?format=xml")
+    assert status == 400
+    assert "unknown format" in body["error"]
 
 
 def test_malformed_json_is_400(served):

@@ -68,6 +68,75 @@ class TestMetricsOut:
         assert root["status"] == "error"
 
 
+class TestStragglerInstrumentation:
+    """Every product-building subcommand routes through the shared
+    instrumented path — pack and the report/figure stragglers included."""
+
+    def test_pack_writes_valid_run_record(self, tmp_path):
+        record_path = tmp_path / "run.json"
+        rc = main(
+            ["pack", "complete:3", "biclique:2x3", "-o", str(tmp_path / "art"),
+             "--metrics-out", str(record_path)]
+        )
+        assert rc == 0
+        record = load_run_record(record_path)
+        names = set(_span_names(record["spans"]))
+        assert {"cli.pack", "pack.build_product", "pack.build_oracle"} <= names
+        assert record["exit_code"] == 0
+
+    def test_design_accepts_obs_flags(self, tmp_path, capsys):
+        record_path = tmp_path / "run.json"
+        rc = main(
+            ["design", "--edges", "36", "--top", "2", "--metrics-out", str(record_path)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        record = load_run_record(record_path)
+        assert "cli.design" in set(_span_names(record["spans"]))
+
+    @pytest.mark.parametrize("command", ["table1", "fig5", "design", "report"])
+    def test_stragglers_expose_obs_flags(self, command):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [command, "--profile", "--metrics-out", "x.json", "--events-out", "e.jsonl"]
+        )
+        assert (args.profile, args.metrics_out, args.events_out) == (
+            True, "x.json", "e.jsonl"
+        )
+
+
+class TestEventsOut:
+    def test_shards_events_out_writes_lifecycle(self, tmp_path):
+        from repro.obs import read_events
+
+        events = tmp_path / "events.jsonl"
+        rc = main(
+            ["shards", "complete:3", "path:4", "-o", str(tmp_path / "sh"),
+             "--shards", "2", "--workers", "1", "--events-out", str(events)]
+        )
+        assert rc == 0
+        kinds = [e["kind"] for e in read_events(events, strict=True)]
+        assert kinds[0] == "shards.planned"
+        assert kinds[-1] == "shards.finished"
+        assert kinds.count("shard.completed") == 2
+
+    def test_events_out_composes_with_metrics_out(self, tmp_path):
+        from repro.obs import read_events
+
+        events = tmp_path / "events.jsonl"
+        record_path = tmp_path / "run.json"
+        rc = main(
+            ["shards", "complete:3", "path:4", "-o", str(tmp_path / "sh"),
+             "--shards", "2", "--workers", "1",
+             "--events-out", str(events), "--metrics-out", str(record_path)]
+        )
+        assert rc == 0
+        load_run_record(record_path)
+        assert read_events(events, strict=True)
+
+
 class TestProfile:
     def test_profile_prints_tree_to_stderr(self, tmp_path, capsys):
         rc = main(["generate", "complete:3", "path:4", "-o", str(tmp_path / "e.txt"), "--profile"])
