@@ -32,8 +32,14 @@ ROUNDS = 1 if QUICK else 3
 
 
 def _best_of(fn, rounds=ROUNDS):
-    """(best_seconds, last_result) over ``rounds`` runs."""
+    """(best_seconds, last_result) over ``rounds`` runs.
+
+    One untimed warm-up call keeps one-time costs (jit compilation on
+    the numba backend, lazy caches) out of the measurement -- quick
+    mode times a single round, which would otherwise be all compile.
+    """
     best, result = float("inf"), None
+    fn()
     for _ in range(rounds):
         with Timer() as t:
             result = fn()

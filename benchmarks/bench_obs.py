@@ -60,7 +60,10 @@ def test_stream_overhead_enabled_vs_null(unicode_product, record_bench):
     # Live registry: counters + bucketed histogram per block.
     with instrument() as (_tracer, metrics):
         enabled_seconds, edges_enabled = _best_stream_seconds(unicode_product)
-        streamed = metrics.counter("edges_streamed_total").value
+        # The stream labels its counter with the kernel backend in use.
+        from repro.kronecker import get_backend
+
+        streamed = metrics.counter("edges_streamed_total", backend=get_backend().name).value
     assert edges == edges_enabled
     assert streamed == edges * STREAM_REPEATS
     overhead = enabled_seconds / null_seconds - 1.0

@@ -26,8 +26,6 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Tuple
 
-import numpy as np
-
 from repro.graphs.bipartite import BipartiteGraph
 
 __all__ = ["wing_decomposition", "wing_number_max"]

@@ -17,7 +17,6 @@ holds on the ``W`` side.
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.graphs.bipartite import BipartiteGraph

@@ -23,8 +23,6 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Tuple
 
-import numpy as np
-
 from repro.graphs.graph import Graph
 
 __all__ = ["truss_decomposition", "truss_number_max"]

@@ -65,7 +65,7 @@ from repro.generators import (
     scale_free_nonbipartite_factor,
     star_graph,
 )
-from repro.graphs import Graph, is_bipartite, read_edge_list
+from repro.graphs import read_edge_list
 from repro.kronecker import (
     Assumption,
     GroundTruthOracle,
@@ -73,6 +73,7 @@ from repro.kronecker import (
     make_bipartite_product,
     stream_edges,
 )
+from repro.kronecker.backends import get_backend, registered_backends, use_backend
 from repro.kronecker.degrees import product_degree_summary
 from repro.kronecker.distances import product_diameter
 from repro.obs import (
@@ -162,6 +163,19 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    """The kernel-backend flag for every kernel-consuming subcommand."""
+    p.add_argument(
+        "--backend",
+        choices=registered_backends(),
+        default=None,
+        help="kernel backend for the fused formula paths (default: "
+        "REPRO_KERNEL_BACKEND env var, else the numpy reference); a "
+        "backend whose optional dependency is missing falls back to "
+        "numpy with a warning",
+    )
+
+
 def _add_product_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("factor_a", help="left factor spec (see --help of the top command)")
     p.add_argument("factor_b", help="right factor spec (must be bipartite)")
@@ -176,6 +190,7 @@ def _add_product_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the factor-connectivity check (formulas hold regardless)",
     )
+    _add_backend_arg(p)
     _add_obs_args(p)
 
 
@@ -193,7 +208,10 @@ def _cmd_generate(args) -> int:
             if args.ground_truth:
                 out.write("# columns: u v squares_at_edge\n")
                 for p, q, dia in stream_edges(
-                    bk, attach_ground_truth=True, block_edges=args.block_edges
+                    bk,
+                    attach_ground_truth=True,
+                    block_edges=args.block_edges,
+                    backend=args.backend,
                 ):
                     keep = p <= q
                     for u, v, d in zip(p[keep].tolist(), q[keep].tolist(), np.asarray(dia)[keep].tolist()):
@@ -201,7 +219,9 @@ def _cmd_generate(args) -> int:
                     edges_written.inc(int(keep.sum()))
             else:
                 out.write("# columns: u v\n")
-                for p, q in stream_edges(bk, block_edges=args.block_edges):
+                for p, q in stream_edges(
+                    bk, block_edges=args.block_edges, backend=args.backend
+                ):
                     keep = p <= q
                     for u, v in zip(p[keep].tolist(), q[keep].tolist()):
                         out.write(f"{u} {v}\n")
@@ -242,6 +262,7 @@ def _cmd_shards(args) -> int:
             resume=args.resume,
             retry=policy,
             fault_injector=injector,
+            backend=args.backend,
         )
     except RetryBudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -314,6 +335,7 @@ def _cmd_verify(args) -> int:
         include_adversarial=not args.no_adversarial,
         include_chains=not args.no_chains,
         perturb=args.perturb,
+        backend=args.backend,
     )
     print(report.format())
     if args.report_out:
@@ -329,7 +351,7 @@ def _cmd_pack(args) -> int:
     with tracer.span("pack.build_product"):
         bk = _build_product(args)
     with tracer.span("pack.build_oracle"):
-        oracle = GroundTruthOracle(bk)
+        oracle = GroundTruthOracle(bk, backend=args.backend)
     out = save_oracle(oracle, args.out_dir)
     info = artifact_info(out)
     print(f"packed oracle artifact: {out}", file=sys.stderr)
@@ -364,7 +386,7 @@ def _serve_instrumented(args) -> int:
     tracer = get_tracer()
     with tracer.span("serve.startup", artifact=str(args.artifact)) as sp:
         info = artifact_info(args.artifact)
-        oracle = load_oracle(args.artifact)
+        oracle = load_oracle(args.artifact, backend=args.backend)
         service = OracleService(
             oracle,
             max_queue=args.max_queue,
@@ -602,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument(
         "--no-chains", action="store_true", help="skip the multi-factor chain checks"
     )
+    _add_backend_arg(v)
     _add_obs_args(v)
     v.set_defaults(fn=_cmd_verify)
 
@@ -640,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="LRU result-cache entries (0 disables caching)",
     )
+    _add_backend_arg(sv)
     _add_obs_args(sv)
     sv.set_defaults(fn=_cmd_serve)
 
@@ -719,6 +743,13 @@ def _run_instrumented(args) -> int:
         except (ValueError, OSError, argparse.ArgumentTypeError) as exc:
             _print_error(exc)
             rc = 2
+        extra = {"exit_code": rc}
+        if hasattr(args, "backend"):
+            try:
+                # The *resolved* backend (post-fallback), not the flag.
+                extra["backend"] = get_backend(args.backend).name
+            except ValueError:
+                extra["backend"] = args.backend
         record = build_run_record(
             f"repro {args.command}",
             tracer=tracer,
@@ -726,7 +757,7 @@ def _run_instrumented(args) -> int:
             config={
                 k: v for k, v in vars(args).items() if k != "fn" and v is not None
             },
-            extra={"exit_code": rc},
+            extra=extra,
         )
     if args.profile:
         render_run_record(record, file=sys.stderr)
@@ -754,7 +785,12 @@ def main(argv=None) -> int:
     ``SystemExit(2)`` with a usage message — never a raw traceback.
     """
     args = build_parser().parse_args(argv)
-    with events_to(getattr(args, "events_out", None)):
+    # The --backend flag is applied as a scoped override: every
+    # backend=None call site below resolves to it (explicit kwargs and
+    # the env var keep their documented precedence).
+    with events_to(getattr(args, "events_out", None)), use_backend(
+        getattr(args, "backend", None)
+    ):
         if getattr(args, "profile", False) or getattr(args, "metrics_out", None):
             return _run_instrumented(args)
         try:

@@ -7,7 +7,7 @@ identities.  Fig. 5 is the paper's one data figure, the degree-vs-
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np

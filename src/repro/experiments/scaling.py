@@ -20,7 +20,6 @@ from repro.generators.scale_free import (
     scale_free_bipartite_factor,
     scale_free_nonbipartite_factor,
 )
-from repro.graphs.bipartite import BipartiteGraph
 from repro.kronecker.assumptions import Assumption, BipartiteKronecker, make_bipartite_product
 from repro.kronecker.clustering import thm6_lower_bound
 from repro.kronecker.community import (
@@ -33,7 +32,6 @@ from repro.kronecker.community import (
     thm7_product_counts,
 )
 from repro.kronecker.ground_truth import global_squares_product
-from repro.kronecker.oracle import GroundTruthOracle
 from repro.kronecker.streaming import stream_edges
 from repro.utils.timing import Timer
 

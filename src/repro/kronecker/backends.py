@@ -1,0 +1,547 @@
+"""Pluggable kernel backends for the batched ground-truth formulas.
+
+The formula layer (:mod:`repro.kronecker.kernels`) is split into two
+halves: *orchestration* (coefficient algebra, bounds checks, CSR
+assembly -- backend-independent, stays in ``kernels``) and the hot
+*batch primitives* (hash-table build/probe, gather+fuse loops over
+index arrays).  This module defines the :class:`KernelBackend`
+protocol for the primitives, a process-wide registry, and runtime
+selection with the precedence
+
+    explicit ``backend=`` kwarg  >  :func:`use_backend` scope (the
+    ``--backend`` CLI flag)  >  ``REPRO_KERNEL_BACKEND`` env var  >
+    registry default (``numpy``).
+
+Backends are *bit-identical by contract*: every primitive must return
+exactly the arrays the numpy reference returns (same dtype, same
+values) so oracle answers, shard payloads, and serve artifacts never
+depend on which backend produced them.  The differential referee
+(:mod:`repro.refcheck`) checks this end to end.
+
+Admission rule (enforced here and in CI's ``backend-matrix`` /
+bench-compare jobs): a backend may only become the *default* after it
+
+1. passes ``repro verify`` bit-identity against the brute-force
+   referee, and
+2. beats the numpy baseline under ``benchmarks/compare.py``.
+
+:func:`set_default_backend` refuses backends not marked admitted, and
+:func:`admit_backend` refuses to mark them without both flags.  The
+``numpy`` reference backend is always available and admitted by
+definition (it *is* the baseline).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "UnknownBackendError",
+    "BackendAdmissionError",
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "get_backend",
+    "use_backend",
+    "default_backend",
+    "set_default_backend",
+    "admit_backend",
+    "ENV_VAR",
+]
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+class UnknownBackendError(ValueError):
+    """Raised when a backend name is not in the registry."""
+
+
+class BackendAdmissionError(ValueError):
+    """Raised when the admission rule blocks a default-backend change."""
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Batch primitives every kernel backend must provide.
+
+    All index/value arrays are int64 (bounds pre-validated by the
+    caller); outputs must be **bit-identical** to
+    :class:`NumpyBackend`'s.  The edge-fuse primitive may mutate its
+    operand arrays -- callers pass freshly-gathered buffers.
+    """
+
+    #: Registry name, reported in metrics labels / run records / witnesses.
+    name: str
+
+    def build_edge_table(
+        self, keys: np.ndarray, vals: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Open-addressing hash table ``(table_keys, table_vals, shift)``
+        over unique int64 keys, load factor <= 1/4, Fibonacci hashing,
+        linear probing.  Layout may differ between backends (insertion
+        order is an implementation detail); probe *results* may not."""
+        ...
+
+    def probe_edge_table(
+        self,
+        table_keys: np.ndarray,
+        table_vals: np.ndarray,
+        shift: int,
+        query_keys: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(found, vals)`` per query key; misses report ``vals = 0``."""
+        ...
+
+    def degrees(
+        self, d_m: np.ndarray, d_b: np.ndarray, i: np.ndarray, k: np.ndarray
+    ) -> np.ndarray:
+        """Batched product degrees ``d_M[i] · d_B[k]`` (Theorem 3 setup)."""
+        ...
+
+    def vertex_squares_pairs(
+        self, L: np.ndarray, R: np.ndarray, i: np.ndarray, k: np.ndarray
+    ) -> np.ndarray:
+        """``½ Σ_t L[t, i] · R[t, k]`` per batch element, asserting the
+        closed-walk excess is even (indices pre-validated)."""
+        ...
+
+    def vertex_squares_codes(self, L: np.ndarray, R: np.ndarray, ps: np.ndarray) -> np.ndarray:
+        """:meth:`vertex_squares_pairs` at flat codes ``p = i·n_B + k``
+        with the divmod fused into the batch loop."""
+        ...
+
+    def edge_squares_fuse(
+        self,
+        alpha: np.ndarray,
+        beta_i: np.ndarray,
+        beta_j: np.ndarray,
+        valid_a: np.ndarray,
+        dia_b: np.ndarray,
+        found_b: np.ndarray,
+        d_k: np.ndarray,
+        d_l: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fuse ``1 + α·w3_B − β_i·d_B(k) − β_j·d_B(l)`` with
+        ``w3_B = ◇_B + d_k + d_l − 1``; invalid slots report 0.
+        Consumes (may mutate) every operand array."""
+        ...
+
+    def edge_clustering(
+        self, dia: np.ndarray, d_p: np.ndarray, d_q: np.ndarray
+    ) -> np.ndarray:
+        """Def. 10 edge clustering ``◇ / ((d_p−1)(d_q−1))`` as float64;
+        ``NaN`` where ``dia < 0`` (invalid sentinel) or a degree < 2."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# numpy reference backend
+# ---------------------------------------------------------------------------
+
+#: Fibonacci multiplicative hashing (Knuth): ``⌊2^64 / φ⌋``, odd.
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+#: Cache-blocked batch evaluation: every temporary stays L2-resident so
+#: intermediate passes cost cache bandwidth, not DRAM round-trips.
+_BATCH_CHUNK = 16384
+
+
+def _hash_slots(keys: np.ndarray, shift: int) -> np.ndarray:
+    """Table slot per key for a power-of-two table of ``2^(64-shift)``."""
+    return ((keys.astype(np.uint64) * _HASH_MULT) >> np.uint64(shift)).astype(np.int64)
+
+
+def table_bits(n_keys: int) -> tuple[int, int]:
+    """``(size, shift)`` of the probe table for ``n_keys`` entries --
+    shared by all backends so tables are interchangeably probeable."""
+    bits = max(3, int(np.ceil(np.log2(max(4 * n_keys, 8)))))
+    return 1 << bits, 64 - bits
+
+
+class NumpyBackend:
+    """The always-available reference backend: pure-numpy vectorized
+    rounds and cache-blocked gather loops (the PR-3 fused kernels)."""
+
+    name = "numpy"
+
+    def build_edge_table(
+        self, keys: np.ndarray, vals: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        # Insertion runs in vectorized rounds: each round places the
+        # first pending key per free slot, the rest advance one slot.
+        size, shift = table_bits(keys.size)
+        table_keys = np.full(size, -1, dtype=np.int64)
+        table_vals = np.zeros(size, dtype=np.int64)
+        pend_k, pend_v = keys, vals
+        pend_p = _hash_slots(pend_k, shift)
+        mask = size - 1
+        while pend_k.size:
+            free = table_keys[pend_p] == -1
+            slots = pend_p[free]
+            _, first = np.unique(slots, return_index=True)
+            writers = np.flatnonzero(free)[first]
+            table_keys[pend_p[writers]] = pend_k[writers]
+            table_vals[pend_p[writers]] = pend_v[writers]
+            placed = np.zeros(pend_k.size, dtype=bool)
+            placed[writers] = True
+            keep = ~placed
+            pend_k, pend_v = pend_k[keep], pend_v[keep]
+            pend_p = (pend_p[keep] + 1) & mask
+        return table_keys, table_vals, shift
+
+    def probe_edge_table(
+        self,
+        table_keys: np.ndarray,
+        table_vals: np.ndarray,
+        shift: int,
+        query_keys: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # One hash gather answers most queries; collision survivors
+        # advance slot-by-slot on a shrinking pending subset.
+        mask = table_keys.size - 1
+        pos = _hash_slots(query_keys, shift)
+        # ``pos`` is masked to the table size by construction, so the
+        # gathers can skip numpy's bounds checking (mode="clip").
+        slot_keys = np.take(table_keys, pos, mode="clip")
+        pending = np.flatnonzero((slot_keys != query_keys) & (slot_keys != -1))
+        while pending.size:
+            nxt = (pos[pending] + 1) & mask
+            pos[pending] = nxt
+            fk = table_keys[nxt]
+            slot_keys[pending] = fk
+            pending = pending[(fk != query_keys[pending]) & (fk != -1)]
+        found = slot_keys == query_keys
+        vals = np.take(table_vals, pos, mode="clip")
+        vals *= found  # zero the misses without a full np.where pass
+        return found, vals
+
+    def degrees(
+        self, d_m: np.ndarray, d_b: np.ndarray, i: np.ndarray, k: np.ndarray
+    ) -> np.ndarray:
+        out = np.take(d_m, i, mode="clip")
+        out *= np.take(d_b, k, mode="clip")
+        return out
+
+    def vertex_squares_pairs(
+        self, L: np.ndarray, R: np.ndarray, i: np.ndarray, k: np.ndarray
+    ) -> np.ndarray:
+        n = i.size
+        out = np.empty(n, dtype=np.int64)
+        chunk = min(_BATCH_CHUNK, max(n, 1))
+        tmp = np.empty(chunk, dtype=np.int64)
+        tmp2 = np.empty(chunk, dtype=np.int64)
+        acc = np.empty(chunk, dtype=np.int64)
+        or_accumulated = np.int64(0)
+        for s in range(0, n, chunk):
+            e = min(s + chunk, n)
+            c = e - s
+            av = _vertex_terms_chunk(L, R, i[s:e], k[s:e], acc[:c], tmp[:c], tmp2[:c])
+            or_accumulated |= np.bitwise_or.reduce(av) if c else np.int64(0)
+            np.right_shift(av, 1, out=out[s:e])
+        assert not (int(or_accumulated) & 1), (
+            "vertex square formula must yield even closed-walk excess"
+        )
+        return out
+
+    def vertex_squares_codes(self, L: np.ndarray, R: np.ndarray, ps: np.ndarray) -> np.ndarray:
+        # The divmod that splits codes into factor coordinates runs
+        # inside the cache-blocked loop, so the split indices never
+        # make a full-size round-trip through DRAM.
+        n_b = R.shape[1]
+        n = ps.size
+        out = np.empty(n, dtype=np.int64)
+        chunk = min(_BATCH_CHUNK, max(n, 1))
+        iv_buf = np.empty(chunk, dtype=np.int64)
+        kv_buf = np.empty(chunk, dtype=np.int64)
+        tmp = np.empty(chunk, dtype=np.int64)
+        tmp2 = np.empty(chunk, dtype=np.int64)
+        acc = np.empty(chunk, dtype=np.int64)
+        or_accumulated = np.int64(0)
+        for s in range(0, n, chunk):
+            e = min(s + chunk, n)
+            c = e - s
+            iv, kv = iv_buf[:c], kv_buf[:c]
+            np.floor_divide(ps[s:e], n_b, out=iv)
+            np.multiply(iv, n_b, out=kv)
+            np.subtract(ps[s:e], kv, out=kv)
+            av = _vertex_terms_chunk(L, R, iv, kv, acc[:c], tmp[:c], tmp2[:c])
+            or_accumulated |= np.bitwise_or.reduce(av) if c else np.int64(0)
+            np.right_shift(av, 1, out=out[s:e])
+        assert not (int(or_accumulated) & 1), (
+            "vertex square formula must yield even closed-walk excess"
+        )
+        return out
+
+    def edge_squares_fuse(
+        self,
+        alpha: np.ndarray,
+        beta_i: np.ndarray,
+        beta_j: np.ndarray,
+        valid_a: np.ndarray,
+        dia_b: np.ndarray,
+        found_b: np.ndarray,
+        d_k: np.ndarray,
+        d_l: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # All operands are fresh arrays, so the formula
+        # ``1 + α·w3_B − β_i·d_B(k) − β_j·d_B(l)`` runs in place.
+        vals = dia_b  # becomes w3_B, then the full value
+        vals += d_k
+        vals += d_l
+        vals -= 1
+        vals *= alpha
+        d_k *= beta_i
+        vals -= d_k
+        d_l *= beta_j
+        vals -= d_l
+        vals += 1
+        valid = valid_a
+        valid &= found_b
+        vals *= valid  # zero the invalid slots without a full np.where pass
+        return vals, valid
+
+    def edge_clustering(
+        self, dia: np.ndarray, d_p: np.ndarray, d_q: np.ndarray
+    ) -> np.ndarray:
+        valid = (dia >= 0) & (d_p >= 2) & (d_q >= 2)
+        denom = (d_p - 1).astype(np.float64)
+        denom *= d_q - 1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(valid, dia / denom, np.nan)
+        return out
+
+
+def _vertex_terms_chunk(L, R, iv, kv, av, tv, t2):
+    """Accumulate ``Σ_t L[t, iv] · R[t, kv]`` into ``av`` (all buffers
+    chunk-sized and preallocated; indices pre-validated, so the gathers
+    skip bounds checks)."""
+    np.take(L[0], iv, out=av, mode="clip")
+    np.take(R[0], kv, out=tv, mode="clip")
+    av *= tv
+    for t in range(1, L.shape[0]):
+        np.take(L[t], iv, out=tv, mode="clip")
+        np.take(R[t], kv, out=t2, mode="clip")
+        tv *= t2
+        av += tv
+    return av
+
+
+# ---------------------------------------------------------------------------
+# Registry and runtime selection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _BackendInfo:
+    name: str
+    factory: Callable[[], KernelBackend]
+    admitted: bool = False
+    description: str = ""
+    fallback: str | None = None  #: name to degrade to when the factory raises ImportError
+
+
+_REGISTRY: dict[str, _BackendInfo] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+_OVERRIDE: list[str] = []  #: use_backend() scope stack (innermost last)
+_DEFAULT_NAME = "numpy"
+_WARNED_FALLBACK: set[str] = set()
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], KernelBackend],
+    *,
+    admitted: bool = False,
+    description: str = "",
+    fallback: str | None = None,
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``admitted=False`` (the default for anything but the reference
+    backend) means the backend is selectable per call/scope but cannot
+    become the process default until :func:`admit_backend` passes the
+    admission rule.  ``fallback`` names the backend to degrade to when
+    the factory raises :class:`ImportError` (missing optional dep).
+    """
+    _REGISTRY[name] = _BackendInfo(
+        name=name, factory=factory, admitted=admitted,
+        description=description, fallback=fallback,
+    )
+    _INSTANCES.pop(name, None)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """All registered backend names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backends whose dependencies import in this process."""
+    out = []
+    for name in _REGISTRY:
+        try:
+            _instance(name)
+        except ImportError:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def _require(name: str) -> _BackendInfo:
+    info = _REGISTRY.get(name)
+    if info is None:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise UnknownBackendError(
+            f"unknown kernel backend {name!r}; registered backends: {valid}"
+        )
+    return info
+
+
+def _instance(name: str) -> KernelBackend:
+    """Build-or-fetch the backend instance; ImportError propagates."""
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        inst = _require(name).factory()
+        _INSTANCES[name] = inst
+    return inst
+
+
+def get_backend(backend: str | KernelBackend | None = None) -> KernelBackend:
+    """Resolve a backend selection to an instance.
+
+    ``backend`` may be an instance (returned as-is), a registered name,
+    or ``None`` -- which consults, in order: the innermost
+    :func:`use_backend` scope, the ``REPRO_KERNEL_BACKEND`` environment
+    variable, and the process default (``numpy`` unless changed through
+    the admission rule).
+
+    A named backend whose optional dependency is missing degrades to
+    its registered fallback with a one-time :class:`RuntimeWarning`;
+    the returned instance's ``.name`` reports the backend actually in
+    use, so records never claim an implementation that did not run.
+    """
+    if backend is not None and not isinstance(backend, str):
+        return backend
+    name = backend
+    if name is None:
+        if _OVERRIDE:
+            name = _OVERRIDE[-1]
+        else:
+            name = os.environ.get(ENV_VAR) or _DEFAULT_NAME
+    info = _require(name)
+    try:
+        return _instance(name)
+    except ImportError as exc:
+        if info.fallback is None:
+            raise
+        if name not in _WARNED_FALLBACK:
+            _WARNED_FALLBACK.add(name)
+            warnings.warn(
+                f"kernel backend {name!r} unavailable ({exc}); "
+                f"falling back to {info.fallback!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _instance(info.fallback)
+
+
+@contextmanager
+def use_backend(name: str | None) -> Iterator[None]:
+    """Scoped backend override (how the ``--backend`` CLI flag is
+    applied): inside the context, unspecified ``backend=None`` call
+    sites resolve to ``name``.  Beats the env var, loses to explicit
+    kwargs.  ``None`` is a no-op scope."""
+    if name is None:
+        yield
+        return
+    _require(name)  # fail fast on unknown names, before any work runs
+    _OVERRIDE.append(name)
+    try:
+        yield
+    finally:
+        _OVERRIDE.pop()
+
+
+def default_backend() -> str:
+    """Name the process-wide default backend."""
+    return _DEFAULT_NAME
+
+
+def set_default_backend(name: str) -> None:
+    """Make ``name`` the process default.  Admission rule: refuses
+    backends that have not been admitted via :func:`admit_backend`."""
+    global _DEFAULT_NAME
+    info = _require(name)
+    if not info.admitted:
+        raise BackendAdmissionError(
+            f"backend {name!r} is not admitted as a default: it must pass "
+            f"`repro verify` bit-identity against the brute-force referee "
+            f"and beat the numpy baseline under benchmarks/compare.py "
+            f"(see admit_backend)"
+        )
+    _DEFAULT_NAME = name
+
+
+def admit_backend(name: str, *, verify_passed: bool, beats_baseline: bool) -> None:
+    """Mark ``name`` admitted -- only with both admission checks green.
+
+    Callers (CI, release tooling) pass the outcome of the differential
+    verify run and the bench compare gate; either being False raises
+    :class:`BackendAdmissionError` so a backend cannot be waved through.
+    """
+    info = _require(name)
+    if not verify_passed:
+        raise BackendAdmissionError(
+            f"backend {name!r} not admitted: differential verify bit-identity "
+            f"has not passed"
+        )
+    if not beats_baseline:
+        raise BackendAdmissionError(
+            f"backend {name!r} not admitted: it does not beat the numpy "
+            f"baseline under benchmarks/compare.py"
+        )
+    info.admitted = True
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+
+
+def _import_numba():
+    """Import hook for the numba dependency, separated so tests can
+    monkeypatch a missing-numba environment deterministically."""
+    import numba
+
+    return numba
+
+
+def _numba_factory() -> KernelBackend:
+    _import_numba()  # raises ImportError when the extra is not installed
+    from repro.kronecker.backends_numba import NumbaBackend
+
+    return NumbaBackend()
+
+
+register_backend(
+    "numpy",
+    NumpyBackend,
+    admitted=True,
+    description="reference: vectorized rounds + cache-blocked gather loops",
+)
+register_backend(
+    "numba",
+    _numba_factory,
+    admitted=False,
+    description="nopython parallel-range batch loops (optional extra)",
+    fallback="numpy",
+)

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.kronecker import kernels
 from repro.kronecker.assumptions import Assumption, BipartiteKronecker
+from repro.kronecker.backends import KernelBackend, get_backend
 from repro.kronecker.ground_truth import FactorStats, _vertex_terms
 from repro.obs import get_metrics, get_tracer
 
@@ -39,11 +40,17 @@ class GroundTruthOracle:
     """Per-vertex / per-edge ground truth for a bipartite product.
 
     Build once from a :class:`BipartiteKronecker`; queries then touch
-    only factor-sized arrays.
+    only factor-sized arrays.  ``backend`` selects the kernel backend
+    for every batched query (``None`` resolves the process selection --
+    scope/env/default); the resolved name is reported in
+    :attr:`backend_name` and as the ``backend`` label of the
+    ``oracle_queries_total`` metric.
     """
 
-    def __init__(self, bk: BipartiteKronecker):
+    def __init__(self, bk: BipartiteKronecker, backend: str | KernelBackend | None = None):
         self.bk = bk
+        self._backend = get_backend(backend)
+        self.backend_name = self._backend.name
         with get_tracer().span("oracle.setup", n=bk.n, m=bk.m) as sp:
             self.stats_a, self.stats_b = bk.factor_stats()
             self.n_b = bk.B.graph.n
@@ -58,7 +65,11 @@ class GroundTruthOracle:
             sp.set(stored_entries=self.memory_footprint_entries())
         # Bound once at setup: a no-op counter unless obs is enabled
         # when the oracle is built, so queries stay allocation-free.
-        self._queries = get_metrics().counter("oracle_queries_total")
+        # Labeled per backend so the query series attribute which
+        # implementation answered them.
+        self._queries = get_metrics().counter(
+            "oracle_queries_total", backend=self.backend_name
+        )
 
     # ------------------------------------------------------------------
     # Artifact export hooks (repro.serve)
@@ -80,6 +91,7 @@ class GroundTruthOracle:
         stats_b: FactorStats,
         part_b: np.ndarray,
         assumption: Assumption,
+        backend: str | KernelBackend | None = None,
     ) -> "GroundTruthOracle":
         """Rebuild an oracle from persisted factor statistics.
 
@@ -98,7 +110,7 @@ class GroundTruthOracle:
         B = BipartiteGraph(Graph(stats_b.adj), np.asarray(part_b, dtype=bool))
         bk = BipartiteKronecker(A, B, assumption)
         bk._stats_cache["stats"] = (stats_a, stats_b)
-        return cls(bk)
+        return cls(bk, backend=backend)
 
     # ------------------------------------------------------------------
     # Index plumbing
@@ -153,7 +165,7 @@ class GroundTruthOracle:
         """
         i, k = self._split_batch(ps, "ps")
         self._queries.inc(i.size)
-        return self._d_m[i] * self.stats_b.d[k]
+        return self._backend.degrees(self._d_m, self.stats_b.d, i, k)
 
     def squares_at_vertices(self, ps) -> np.ndarray:
         """Batched :meth:`squares_at_vertex` via the fused vertex kernel.
@@ -171,6 +183,7 @@ class GroundTruthOracle:
             self.bk.assumption,
             ps,
             term_matrices=self._term_matrices,
+            backend=self._backend,
         )
 
     # ------------------------------------------------------------------
@@ -270,7 +283,8 @@ class GroundTruthOracle:
             raise ValueError(f"ps and qs must match in shape: {i.shape} vs {j.shape}")
         self._queries.inc(i.size)
         _, valid = kernels.edge_squares_batch(
-            self.stats_a, self.stats_b, self.bk.assumption, i, j, k, ell
+            self.stats_a, self.stats_b, self.bk.assumption, i, j, k, ell,
+            backend=self._backend,
         )
         return valid
 
@@ -293,7 +307,8 @@ class GroundTruthOracle:
             raise ValueError(f"ps and qs must match in shape: {i.shape} vs {j.shape}")
         self._queries.inc(i.size)
         values, valid = kernels.edge_squares_batch(
-            self.stats_a, self.stats_b, self.bk.assumption, i, j, k, ell
+            self.stats_a, self.stats_b, self.bk.assumption, i, j, k, ell,
+            backend=self._backend,
         )
         if valid.all():
             return values
@@ -305,6 +320,21 @@ class GroundTruthOracle:
                 f"({int(ps[bad])}, {int(qs[bad])}) is not an edge of the product"
             )
         return np.where(valid, values, -1)
+
+    def clustering_at_edges(self, ps, qs) -> np.ndarray:
+        """Batched :meth:`clustering_at_edge` with NaN masking.
+
+        Returns float64 ``Γ_C`` per pair; ``NaN`` where ``(p, q)`` is
+        not a product edge or an endpoint degree is below 2 (outside
+        Def. 10's domain) -- mask semantics instead of the scalar
+        method's raise, matching :meth:`squares_at_edges`'s
+        ``on_invalid="mask"`` contract.  This is the serve layer's
+        clustering path.
+        """
+        dia = self.squares_at_edges(ps, qs, on_invalid="mask")
+        dp = self.degrees(ps)
+        dq = self.degrees(qs)
+        return self._backend.edge_clustering(dia, dp, dq)
 
     # ------------------------------------------------------------------
     # Global queries

@@ -65,6 +65,7 @@ def _write_shard(
     stop: int,
     path: str,
     ground_truth: bool,
+    backend: Optional[str] = None,
     attempt: int = 0,
     injector: Optional[FaultInjector] = None,
 ):
@@ -84,7 +85,9 @@ def _write_shard(
         injector.maybe_fail(index, attempt, partial_path=tmp)
     t0 = time.perf_counter()
     if ground_truth:
-        p, q, dia = shard_of_product(bk, start, stop, attach_ground_truth=True)
+        p, q, dia = shard_of_product(
+            bk, start, stop, attach_ground_truth=True, backend=backend
+        )
         arrays = {"p": p, "q": q, "squares": dia}
     else:
         p, q = shard_of_product(bk, start, stop)
@@ -146,6 +149,7 @@ def generate_shards(
     resume: bool = False,
     retry: Optional[RetryPolicy] = None,
     fault_injector: Optional[FaultInjector] = None,
+    backend: Optional[str] = None,
 ) -> list[Path]:
     """Write the product as ``n_shards`` ``.npz`` shard files, in parallel.
 
@@ -169,7 +173,17 @@ def generate_shards(
     follow-up ``resume=True`` run picks up exactly where this one died.
     ``fault_injector`` deterministically simulates worker crashes (for
     tests and the CI crash/resume smoke).
+
+    ``backend`` selects the kernel backend for the ground-truth
+    coefficient lookups; it is resolved to a *name* in the parent (so
+    fallback and validation happen before any worker is spawned) and
+    crosses process boundaries as that name.  Shard content -- and
+    therefore manifests, checksums, and resume compatibility -- is
+    bit-identical across backends.
     """
+    from repro.kronecker.backends import get_backend
+
+    backend_name = get_backend(backend).name
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     slices = left_entry_slices(bk, n_shards)
@@ -196,6 +210,7 @@ def generate_shards(
         n_workers=n_workers,
         ground_truth=ground_truth,
         resume=resume,
+        backend=backend_name,
     ) as sp:
         metrics.counter("parallel.generate.shards_skipped_total").inc(len(done))
         write_manifest(manifest, manifest_path)
@@ -209,12 +224,13 @@ def generate_shards(
                 total_entries=int(total_entries),
                 ground_truth=ground_truth,
                 resume=resume,
+                backend=backend_name,
             )
             for index in sorted(done):
                 entry = manifest.shards[index]
                 events.emit("shard.skipped", index=index, entries=entry.entries)
         tasks = [
-            (k, (bk, k, start, stop, str(paths[k]), ground_truth))
+            (k, (bk, k, start, stop, str(paths[k]), ground_truth, backend_name))
             for k, (start, stop) in enumerate(slices)
             if k not in done
         ]

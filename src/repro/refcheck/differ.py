@@ -46,7 +46,6 @@ from repro.kronecker.community import (
     thm7_product_counts,
 )
 from repro.kronecker.ground_truth import (
-    FactorStats,
     edge_squares_product,
     edge_squares_product_reference,
     global_squares_product,
@@ -98,6 +97,9 @@ class DivergenceWitness:
     expected: Union[int, float, str]
     actual: Union[int, float, str]
     factors: Dict[str, dict]
+    #: Kernel backend the fused implementations ran under -- a
+    #: numba-only divergence must be attributable from the report alone.
+    backend: str = "numpy"
 
     def to_dict(self) -> dict:
         return {
@@ -106,6 +108,7 @@ class DivergenceWitness:
             "quantity": self.quantity,
             "implementation": self.implementation,
             "reference": self.reference,
+            "backend": self.backend,
             "location": dict(self.location),
             "expected": self.expected,
             "actual": self.actual,
@@ -116,7 +119,8 @@ class DivergenceWitness:
         loc = ", ".join(f"{k}={v}" for k, v in self.location.items())
         return (
             f"{self.case} [{self.assumption}] {self.quantity}: "
-            f"{self.implementation} != {self.reference} at ({loc}): "
+            f"{self.implementation} != {self.reference} "
+            f"[backend={self.backend}] at ({loc}): "
             f"expected {self.expected}, got {self.actual}"
         )
 
@@ -130,6 +134,7 @@ class VerifyReport:
     max_factor_size: int
     assumptions: List[str]
     perturbation: Optional[str]
+    backend: str = "numpy"
     cases: int = 0
     checks: int = 0
     elapsed_seconds: float = 0.0
@@ -151,6 +156,7 @@ class VerifyReport:
             "max_factor_size": self.max_factor_size,
             "assumptions": self.assumptions,
             "perturbation": self.perturbation,
+            "backend": self.backend,
             "cases": self.cases,
             "checks": self.checks,
             "divergences": self.divergences,
@@ -170,6 +176,7 @@ class VerifyReport:
             f"{self.cases} cases, {self.checks} checks, "
             f"{self.divergences} divergences "
             f"(seed={self.seed}, trials={self.trials}, "
+            f"backend={self.backend}, "
             f"assumptions={'/'.join(self.assumptions)}"
             + (f", perturbation={self.perturbation}" if self.perturbation else "")
             + f") in {self.elapsed_seconds:.2f}s"
@@ -215,8 +222,8 @@ def _perturbation(kind: Optional[str]):
         raise ValueError(f"unknown perturbation {kind!r}; choose from {PERTURBATIONS}")
     original = kernels.edge_coefficients
 
-    def beta_sign_flipped(stats_a, assumption, i, j):
-        alpha, beta_i, beta_j, valid = original(stats_a, assumption, i, j)
+    def beta_sign_flipped(stats_a, assumption, i, j, backend=None):
+        alpha, beta_i, beta_j, valid = original(stats_a, assumption, i, j, backend=backend)
         return alpha, -beta_i, -beta_j, valid
 
     kernels.edge_coefficients = beta_sign_flipped
@@ -253,6 +260,7 @@ class _CaseChecker:
                 expected=expected,
                 actual=actual,
                 factors={"A": self.spec["A"], "B": self.spec["B"]},
+                backend=self.report.backend,
             )
         )
 
@@ -466,6 +474,7 @@ def run_verification(
     include_adversarial: bool = True,
     include_chains: bool = True,
     perturb: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> VerifyReport:
     """Run the full differential sweep and return the report.
 
@@ -477,7 +486,18 @@ def run_verification(
     counters ``verify.cases_total`` / ``verify.checks_total`` /
     ``verify.divergences_total`` land in ``--profile`` /
     ``--metrics-out`` output like any other workload.
+
+    ``backend`` selects the kernel backend every fused implementation
+    runs under (applied as a :func:`~repro.kronecker.backends.use_backend`
+    scope, so the oracle, stream, and whole-product paths all inherit
+    it); the legacy ``sp.kron`` paths and the brute-force referee are
+    backend-independent.  The *resolved* name -- after any
+    missing-dependency fallback -- is recorded in the report and every
+    witness.
     """
+    from repro.kronecker.backends import get_backend, use_backend
+
+    backend_name = get_backend(backend).name
     assumptions = resolve_assumptions(assumption)
     report = VerifyReport(
         seed=seed,
@@ -485,12 +505,13 @@ def run_verification(
         max_factor_size=max_factor_size,
         assumptions=[a.value for a in assumptions],
         perturbation=None if perturb in (None, "none") else perturb,
+        backend=backend_name,
     )
     tracer = get_tracer()
     metrics = get_metrics()
     cases_total = metrics.counter("verify.cases_total")
     t0 = time.perf_counter()
-    with _perturbation(perturb):
+    with _perturbation(perturb), use_backend(backend_name):
         batches = [("verify.random",
                     random_cases(seed, trials, max_factor_size, assumptions))]
         if include_adversarial:

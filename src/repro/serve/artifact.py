@@ -156,6 +156,10 @@ def save_oracle(oracle: GroundTruthOracle, out_dir: PathLike) -> Path:
             "schema": ARTIFACT_SCHEMA,
             "created_at": _utcnow(),
             "checksum": checksum_arrays(arrays),
+            # Which kernel backend computed the packed arrays: array
+            # content is bit-identical across backends by contract, but
+            # a divergence investigation needs the provenance recorded.
+            "kernel_backend": oracle.backend_name,
             "assumption": assumption.name,
             "product": {"n": int(oracle.bk.n), "m": int(oracle.bk.m)},
             "factors": {
@@ -190,13 +194,19 @@ def artifact_info(path: PathLike) -> dict[str, Any]:
     return info
 
 
-def load_oracle(path: PathLike, verify: bool = True) -> GroundTruthOracle:
+def load_oracle(
+    path: PathLike, verify: bool = True, backend: str | None = None
+) -> GroundTruthOracle:
     """Rebuild a :class:`GroundTruthOracle` from an artifact directory.
 
     Verifies the sidecar's schema tag and (unless ``verify=False``) the
     content checksum *and* the persisted kernel coefficients against the
     factor statistics, raising :class:`ArtifactIntegrityError` on any
     disagreement -- a tampered or bit-rotted artifact never serves.
+
+    ``backend`` selects the kernel backend of the rebuilt oracle
+    (``None`` resolves the process selection); artifacts are
+    backend-neutral, so any backend can serve any artifact.
     """
     path = Path(path)
     info = artifact_info(path)
@@ -229,7 +239,7 @@ def load_oracle(path: PathLike, verify: bool = True) -> GroundTruthOracle:
         if "part_b" not in arrays:
             raise ArtifactError("artifact is missing the part_b bipartition mask")
         oracle = GroundTruthOracle.from_factor_stats(
-            stats_a, stats_b, arrays["part_b"], assumption
+            stats_a, stats_b, arrays["part_b"], assumption, backend=backend
         )
         if verify:
             vertex_l, vertex_r = oracle._term_matrices

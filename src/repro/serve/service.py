@@ -358,17 +358,13 @@ class OracleService:
             out = self.oracle.squares_at_vertices(ps)
         else:
             qs = np.concatenate([req.qs for req in reqs]) if len(reqs) > 1 else reqs[0].qs
-            dia = self.oracle.squares_at_edges(ps, qs, on_invalid="mask")
             if kind == "edge_squares":
+                dia = self.oracle.squares_at_edges(ps, qs, on_invalid="mask")
                 out = dia
                 self._counts["invalid"] += int((dia == INVALID_SQUARES).sum())
-            else:  # clustering
-                dp = self.oracle.degrees(ps)
-                dq = self.oracle.degrees(qs)
-                valid = (dia != INVALID_SQUARES) & (dp >= 2) & (dq >= 2)
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    out = np.where(valid, dia / ((dp - 1) * (dq - 1)), np.nan)
-                self._counts["invalid"] += int((~valid).sum())
+            else:  # clustering -- NaN masking delegated to the oracle/backend
+                out = self.oracle.clustering_at_edges(ps, qs)
+                self._counts["invalid"] += int(np.isnan(out).sum())
         offset = 0
         for req in reqs:
             req.result = out[offset : offset + req.size]

@@ -33,7 +33,6 @@ from repro.generators.scale_free import (
     scale_free_bipartite_factor,
     scale_free_nonbipartite_factor,
 )
-from repro.graphs.bipartite import BipartiteGraph
 from repro.kronecker.assumptions import Assumption, BipartiteKronecker, make_bipartite_product
 from repro.kronecker.ground_truth import edge_squares_product, global_squares_product, vertex_squares_product
 

@@ -1,0 +1,293 @@
+"""Backend registry, runtime selection, fallback, and admission rule.
+
+The protocol contract itself (bit-identity of the primitives) is
+exercised indirectly by every kernel/oracle/refcheck test; here we pin
+the *selection machinery*: precedence of kwarg > scope > env > default,
+graceful degradation when an optional backend's dependency is missing,
+and the admission rule that gates default-backend changes.
+"""
+
+import builtins
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.generators import complete_bipartite, cycle_graph
+from repro.kronecker import Assumption, GroundTruthOracle, make_bipartite_product
+from repro.kronecker import backends as B
+from repro.kronecker.backends import (
+    BackendAdmissionError,
+    NumpyBackend,
+    UnknownBackendError,
+    admit_backend,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    registered_backends,
+    set_default_backend,
+    use_backend,
+)
+
+
+@pytest.fixture
+def bk():
+    return make_bipartite_product(
+        cycle_graph(5), complete_bipartite(2, 3).graph, Assumption.NON_BIPARTITE_FACTOR
+    )
+
+
+@pytest.fixture
+def clean_registry_state(monkeypatch):
+    """Snapshot/restore mutable registry state so tests can't leak."""
+    monkeypatch.setattr(B, "_REGISTRY", dict(B._REGISTRY))
+    monkeypatch.setattr(B, "_INSTANCES", dict(B._INSTANCES))
+    monkeypatch.setattr(B, "_OVERRIDE", list(B._OVERRIDE))
+    monkeypatch.setattr(B, "_WARNED_FALLBACK", set())
+    monkeypatch.setattr(B, "_DEFAULT_NAME", B._DEFAULT_NAME)
+    # _REGISTRY values are mutable dataclasses (admitted flag); deep-copy
+    # the entries tests may mutate.
+    for name, info in list(B._REGISTRY.items()):
+        B._REGISTRY[name] = B._BackendInfo(
+            name=info.name,
+            factory=info.factory,
+            admitted=info.admitted,
+            description=info.description,
+            fallback=info.fallback,
+        )
+    yield
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registered_backends()
+        assert "numpy" in names
+        assert "numba" in names
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_unknown_backend_error_lists_valid_names(self):
+        with pytest.raises(UnknownBackendError) as exc:
+            get_backend("no-such-backend")
+        msg = str(exc.value)
+        assert "no-such-backend" in msg
+        for name in registered_backends():
+            assert name in msg
+
+    def test_register_custom_backend(self, clean_registry_state):
+        class Fake(NumpyBackend):
+            name = "fake"
+
+        register_backend("fake", Fake, description="test double")
+        assert "fake" in registered_backends()
+        assert get_backend("fake").name == "fake"
+
+    def test_instance_passthrough(self):
+        be = NumpyBackend()
+        assert get_backend(be) is be
+
+
+class TestSelectionPrecedence:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(B.ENV_VAR, raising=False)
+        assert get_backend().name == "numpy"
+        assert default_backend() == "numpy"
+
+    def test_env_var_selects(self, monkeypatch, clean_registry_state):
+        class Fake(NumpyBackend):
+            name = "fake"
+
+        register_backend("fake", Fake)
+        monkeypatch.setenv(B.ENV_VAR, "fake")
+        assert get_backend().name == "fake"
+        # Explicit kwarg beats the env var.
+        assert get_backend("numpy").name == "numpy"
+
+    def test_scope_beats_env(self, monkeypatch, clean_registry_state):
+        class Fake(NumpyBackend):
+            name = "fake"
+
+        register_backend("fake", Fake)
+        monkeypatch.setenv(B.ENV_VAR, "numpy")
+        with use_backend("fake"):
+            assert get_backend().name == "fake"
+            # ...but an explicit kwarg still wins over the scope.
+            assert get_backend("numpy").name == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_scopes_nest(self, clean_registry_state):
+        class Fake(NumpyBackend):
+            name = "fake"
+
+        register_backend("fake", Fake)
+        with use_backend("numpy"):
+            with use_backend("fake"):
+                assert get_backend().name == "fake"
+            assert get_backend().name == "numpy"
+
+    def test_use_backend_none_is_noop(self, monkeypatch):
+        monkeypatch.delenv(B.ENV_VAR, raising=False)
+        with use_backend(None):
+            assert get_backend().name == "numpy"
+
+    def test_use_backend_fails_fast_on_unknown(self):
+        with pytest.raises(UnknownBackendError):
+            with use_backend("bogus"):
+                pass  # pragma: no cover - must not enter
+
+    def test_env_var_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(B.ENV_VAR, "bogus")
+        with pytest.raises(UnknownBackendError):
+            get_backend()
+
+
+class TestNumbaFallback:
+    def test_missing_numba_falls_back_to_numpy(self, monkeypatch, clean_registry_state):
+        def no_numba():
+            raise ImportError("No module named 'numba'")
+
+        monkeypatch.setattr(B, "_import_numba", no_numba)
+        B._INSTANCES.pop("numba", None)
+        with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+            be = get_backend("numba")
+        # The resolved instance is truthful about what actually runs.
+        assert be.name == "numpy"
+
+    def test_fallback_warns_once(self, monkeypatch, clean_registry_state):
+        def no_numba():
+            raise ImportError("No module named 'numba'")
+
+        monkeypatch.setattr(B, "_import_numba", no_numba)
+        B._INSTANCES.pop("numba", None)
+        with pytest.warns(RuntimeWarning):
+            get_backend("numba")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_backend("numba").name == "numpy"
+
+    def test_fallback_via_blocked_import(self, monkeypatch, clean_registry_state):
+        """End-to-end: the real ``import numba`` path raising degrades too."""
+        real_import = builtins.__import__
+
+        def blocking_import(name, *args, **kwargs):
+            if name == "numba" or name.startswith("numba."):
+                raise ImportError("No module named 'numba'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", blocking_import)
+        B._INSTANCES.pop("numba", None)
+        with pytest.warns(RuntimeWarning, match="'numba' unavailable"):
+            assert get_backend("numba").name == "numpy"
+
+    def test_no_fallback_raises(self, monkeypatch, clean_registry_state):
+        def broken():
+            raise ImportError("no dep")
+
+        register_backend("broken", broken)  # fallback=None
+        with pytest.raises(ImportError):
+            get_backend("broken")
+
+
+class TestAdmissionRule:
+    def test_numpy_is_admitted(self, clean_registry_state):
+        set_default_backend("numpy")
+        assert default_backend() == "numpy"
+
+    def test_unadmitted_backend_cannot_become_default(self, clean_registry_state):
+        with pytest.raises(BackendAdmissionError, match="not admitted"):
+            set_default_backend("numba")
+
+    def test_admit_requires_verify(self, clean_registry_state):
+        with pytest.raises(BackendAdmissionError, match="verify"):
+            admit_backend("numba", verify_passed=False, beats_baseline=True)
+
+    def test_admit_requires_bench_win(self, clean_registry_state):
+        with pytest.raises(BackendAdmissionError, match="baseline"):
+            admit_backend("numba", verify_passed=True, beats_baseline=False)
+
+    def test_admit_then_default(self, clean_registry_state):
+        admit_backend("numba", verify_passed=True, beats_baseline=True)
+        set_default_backend("numba")
+        assert default_backend() == "numba"
+
+
+class TestBackendThreading:
+    """Backend identity is visible on every record-producing surface."""
+
+    def test_oracle_records_backend_name(self, bk, monkeypatch):
+        monkeypatch.delenv(B.ENV_VAR, raising=False)
+        oracle = GroundTruthOracle(bk)
+        assert oracle.backend_name == "numpy"
+
+    def test_oracle_explicit_backend_kwarg(self, bk, clean_registry_state):
+        class Fake(NumpyBackend):
+            name = "fake"
+
+        register_backend("fake", Fake)
+        oracle = GroundTruthOracle(bk, backend="fake")
+        assert oracle.backend_name == "fake"
+
+    def test_oracle_answers_identical_across_selection(self, bk):
+        base = GroundTruthOracle(bk)
+        other = GroundTruthOracle(bk, backend=NumpyBackend())
+        ps = np.arange(bk.n, dtype=np.int64)
+        np.testing.assert_array_equal(
+            base.squares_at_vertices(ps), other.squares_at_vertices(ps)
+        )
+
+    def test_verify_report_records_backend(self, clean_registry_state):
+        from repro.refcheck import run_verification
+
+        report = run_verification(trials=2, seed=7, max_factor_size=5, backend="numpy")
+        assert report.backend == "numpy"
+        assert report.to_dict()["backend"] == "numpy"
+        assert "backend=numpy" in report.format()
+
+    def test_witness_records_backend(self):
+        from repro.refcheck.differ import DivergenceWitness
+
+        w = DivergenceWitness(
+            case="trial-0",
+            assumption="NON_BIPARTITE_FACTOR",
+            quantity="edge_squares",
+            implementation="kernels",
+            reference="brute_force",
+            location={"p": 0, "q": 0},
+            expected=1,
+            actual=2,
+            factors={},
+            backend="numba",
+        )
+        d = w.to_dict()
+        assert d["backend"] == "numba"
+        assert "[backend=numba]" in w.format()
+
+    def test_pack_sidecar_records_backend(self, bk, tmp_path):
+        from repro.serve.artifact import artifact_info, save_oracle
+
+        save_oracle(GroundTruthOracle(bk, backend="numpy"), tmp_path / "art")
+        info = artifact_info(tmp_path / "art")
+        assert info["kernel_backend"] == "numpy"
+
+
+class TestTableBits:
+    def test_load_factor_quarter(self):
+        for n in (1, 2, 7, 8, 100, 5000):
+            size, shift = B.table_bits(n)
+            assert size >= 4 * n
+            assert size == 1 << (64 - shift)
+
+    def test_cross_backend_probe_contract(self):
+        """A table built by one backend answers probes via the shared
+        slot math -- layout is backend-private but size/shift are not."""
+        be = NumpyBackend()
+        keys = np.array([3, 17, 44, 101, 9], dtype=np.int64)
+        vals = np.array([1, 2, 3, 4, 5], dtype=np.int64)
+        tk, tv, shift = be.build_edge_table(keys, vals)
+        assert tk.size == B.table_bits(keys.size)[0]
+        queries = np.array([17, 5, 101, 3, 200], dtype=np.int64)
+        found, out = be.probe_edge_table(tk, tv, shift, queries)
+        np.testing.assert_array_equal(found, [True, False, True, True, False])
+        np.testing.assert_array_equal(out, [2, 0, 4, 1, 0])
