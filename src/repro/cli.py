@@ -381,6 +381,62 @@ def _cmd_serve(args) -> int:
 
 
 def _serve_instrumented(args) -> int:
+    if args.workers_procs > 0:
+        return _serve_prefork(args)
+    return _serve_threaded(args)
+
+
+def _serve_prefork(args) -> int:
+    """The pre-fork multi-process front end (see repro.serve.prefork)."""
+    import signal
+
+    from repro.serve.prefork import PreforkServer
+
+    server = PreforkServer(
+        args.artifact,
+        host=args.host,
+        port=args.port,
+        workers=args.workers_procs,
+        protocol=args.protocol,
+        backend=args.backend,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size,
+        batcher_threads=args.workers,
+        grace=args.grace,
+        mmap=not args.no_mmap,
+    ).start()
+    oracle = server.oracle
+    print(
+        f"serving ground-truth oracle on http://{server.host}:{server.port} "
+        f"(n={oracle.bk.n:,}, m={oracle.bk.m:,}; {server.workers} pre-fork workers, "
+        f"protocol={server.protocol}, mmap={'on' if server.mmap else 'off'}; "
+        "Ctrl-C to stop)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.run_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        stats = server.stop()
+    print(
+        f"serve: shut down after {stats['requests']:,} requests "
+        f"({stats['queries']:,} queries, {stats['hits']:,} cache hits, "
+        f"{stats['shed']:,} shed; {stats['workers_reported']}/{stats['workers']} "
+        f"workers reported, {stats['respawns']} respawned)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _serve_threaded(args) -> int:
     from repro.serve import OracleService, artifact_info, build_server, load_oracle
 
     tracer = get_tracer()
@@ -662,6 +718,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="LRU result-cache entries (0 disables caching)",
+    )
+    sv.add_argument(
+        "--workers-procs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pre-fork N serving processes sharing one mmap'd oracle and "
+        "one port (0 = single-process threaded server); size N to the "
+        "machine's cores",
+    )
+    sv.add_argument(
+        "--protocol",
+        choices=["json", "wire", "both"],
+        default="both",
+        help="protocols the pre-fork port speaks: JSON HTTP, the binary "
+        "wire protocol (repro.wire/1), or both via first-byte sniffing "
+        "(threaded mode is JSON-only)",
+    )
+    sv.add_argument(
+        "--grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="pre-fork graceful-drain window on SIGTERM: in-flight "
+        "requests get this long to complete before workers exit",
+    )
+    sv.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load the artifact eagerly instead of mmap zero-copy "
+        "(pre-fork mode; costs one artifact copy per worker)",
     )
     _add_backend_arg(sv)
     _add_obs_args(sv)

@@ -102,12 +102,18 @@ class GroundTruthOracle:
         recomputed.  Assumption-1 *validation* is also skipped -- the
         artifact was built from an already-validated product (and the
         checksum layer guards against tampering).
+
+        The factor adjacencies are wrapped via
+        :meth:`~repro.graphs.graph.Graph.from_canonical_csr` -- no
+        re-canonicalization copy -- so when the stats come from
+        ``load_oracle(..., mmap=True)`` the oracle's big arrays stay
+        page-cache-backed memmaps shared across processes.
         """
         from repro.graphs.bipartite import BipartiteGraph
         from repro.graphs.graph import Graph
 
-        A = Graph(stats_a.adj)
-        B = BipartiteGraph(Graph(stats_b.adj), np.asarray(part_b, dtype=bool))
+        A = Graph.from_canonical_csr(stats_a.adj)
+        B = BipartiteGraph(Graph.from_canonical_csr(stats_b.adj), np.asarray(part_b, dtype=bool))
         bk = BipartiteKronecker(A, B, assumption)
         bk._stats_cache["stats"] = (stats_a, stats_b)
         return cls(bk, backend=backend)

@@ -78,6 +78,7 @@ def render_prometheus(
     *,
     namespace: str = "repro",
     extra_gauges: Optional[dict[str, Any]] = None,
+    const_labels: Optional[dict[str, str]] = None,
 ) -> str:
     """Render one metrics snapshot as Prometheus text exposition.
 
@@ -85,8 +86,14 @@ def render_prometheus(
     numeric values — the serving layer passes its service tallies
     (queue depth, cache entries, ...) through it so one scrape sees
     both worlds.
+
+    ``const_labels`` are stamped onto **every** sample (series labels
+    win on key collision).  The serving layer passes
+    ``{"worker": <id>}`` so scrapes of different pre-fork workers stay
+    distinct series instead of colliding when aggregated.
     """
     prefix = f"{namespace}_" if namespace else ""
+    const = dict(const_labels or {})
     lines: list[str] = []
     families: set[str] = set()
 
@@ -100,7 +107,7 @@ def render_prometheus(
     by_family: dict[str, list[tuple[dict[str, str], Any]]] = {}
     for key, value in snapshot.get("counters", {}).items():
         name, labels = parse_series_key(key)
-        by_family.setdefault(name, []).append((labels, value))
+        by_family.setdefault(name, []).append(({**const, **labels}, value))
     for name in sorted(by_family):
         pname = family(name, "counter")
         for labels, value in by_family[name]:
@@ -111,10 +118,10 @@ def render_prometheus(
         if value is None:
             continue
         name, labels = parse_series_key(key)
-        by_family.setdefault(name, []).append((labels, value))
+        by_family.setdefault(name, []).append(({**const, **labels}, value))
     for name, value in sorted((extra_gauges or {}).items()):
         if value is not None and isinstance(value, (int, float)):
-            by_family.setdefault(name, []).append(({}, value))
+            by_family.setdefault(name, []).append((dict(const), value))
     for name in sorted(by_family):
         pname = family(name, "gauge")
         for labels, value in by_family[name]:
@@ -123,7 +130,7 @@ def render_prometheus(
     hist_by_family: dict[str, list[tuple[dict[str, str], dict[str, Any]]]] = {}
     for key, summary in snapshot.get("histograms", {}).items():
         name, labels = parse_series_key(key)
-        hist_by_family.setdefault(name, []).append((labels, summary))
+        hist_by_family.setdefault(name, []).append(({**const, **labels}, summary))
     for name in sorted(hist_by_family):
         pname = family(name, "histogram")
         qname = family(name + "_quantile", "gauge")

@@ -10,7 +10,9 @@ into infrastructure:
 * :mod:`repro.serve.artifact` -- a versioned, checksummed on-disk
   oracle artifact (schema ``repro.serve/1``): ``save_oracle`` /
   ``load_oracle`` round-trip every factor statistic and kernel
-  coefficient so a server boots without recomputing anything.
+  coefficient so a server boots without recomputing anything;
+  ``load_oracle(..., mmap=True)`` maps the arrays zero-copy for
+  multi-process sharing.
 * :mod:`repro.serve.service` -- :class:`OracleService`, an in-process
   front-end over the batched oracle APIs with request micro-batching,
   an LRU result cache, and bounded-queue backpressure (typed
@@ -19,10 +21,19 @@ into infrastructure:
   (``/v1/degree``, ``/v1/squares/vertex``, ``/v1/squares/edge``,
   ``/v1/clustering``, ``/v1/global``, ``/healthz``, ``/metrics``),
   fully instrumented through :mod:`repro.obs`.
+* :mod:`repro.serve.wire` -- the compact length-prefixed binary batch
+  protocol (schema ``repro.wire/1``) plus the pooled
+  :class:`~repro.serve.wire.WireClient`.
+* :mod:`repro.serve.prefork` -- the pre-fork multi-process front end:
+  N workers sharing one mmap'd oracle and one listening socket, JSON
+  and wire sniffed on the same port, SIGTERM drain, respawn-on-crash,
+  per-worker metrics merged on shutdown.
 
 CLI: ``python -m repro pack`` builds artifacts from factor specs;
-``python -m repro serve`` boots the HTTP server.  See docs/serving.md
-for the artifact format, endpoint reference, and capacity numbers.
+``python -m repro serve`` boots the threaded HTTP server and
+``python -m repro serve --workers-procs N`` the pre-fork front end.
+See docs/serving.md for the artifact format, endpoint/wire reference,
+and capacity numbers.
 """
 
 from repro.serve.artifact import (
@@ -36,8 +47,10 @@ from repro.serve.artifact import (
     oracle_arrays,
     save_oracle,
 )
-from repro.serve.http import OracleHTTPServer, build_server
+from repro.serve.http import HandlerContext, OracleHTTPServer, build_server
+from repro.serve.prefork import PreforkServer
 from repro.serve.service import INVALID_SQUARES, OracleService, Overloaded
+from repro.serve.wire import WireClient
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -52,6 +65,9 @@ __all__ = [
     "INVALID_SQUARES",
     "OracleService",
     "Overloaded",
+    "HandlerContext",
     "OracleHTTPServer",
     "build_server",
+    "PreforkServer",
+    "WireClient",
 ]

@@ -21,12 +21,26 @@ verifies the checksum and the schema tag before reconstructing a
 no sparse ``A²`` products are recomputed, so a server boots in
 O(artifact size) and answers are bit-identical to the oracle that was
 saved (asserted in tests/serve and in ``benchmarks/bench_serve.py``).
+
+**Zero-copy serving.**  The npz container is written *uncompressed*
+(``np.savez``), so every member ``.npy`` sits contiguously in the file
+and ``load_oracle(..., mmap=True)`` can hand back ``np.memmap`` views
+instead of materialized copies: the CSR triplets, stats vectors, and
+coefficient stacks stay page-cache-backed, read-only, and **shared**
+across every process that maps the same artifact -- the substrate of
+the pre-fork server (:mod:`repro.serve.prefork`), where N workers serve
+one mapped oracle with flat per-worker memory.  The sidecar checksum is
+still verified against the mapped bytes before the oracle is built.
+Legacy compressed artifacts keep loading (eagerly, with a warning under
+``mmap=True``) -- a compressed zip member cannot be mapped.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
+import warnings
 import zipfile
 from datetime import datetime, timezone
 from pathlib import Path
@@ -148,13 +162,17 @@ def save_oracle(oracle: GroundTruthOracle, out_dir: PathLike) -> Path:
         tmp = npz_path.with_name(npz_path.name + ".tmp")
         try:
             with open(tmp, "wb") as fh:
-                np.savez_compressed(fh, **arrays)
+                # Uncompressed on purpose: stored zip members are the
+                # raw .npy bytes at a fixed offset, which is what lets
+                # load_oracle(mmap=True) map them zero-copy.
+                np.savez(fh, **arrays)
             os.replace(tmp, npz_path)
         finally:
             tmp.unlink(missing_ok=True)
         sidecar = {
             "schema": ARTIFACT_SCHEMA,
             "created_at": _utcnow(),
+            "storage": "npz-stored",
             "checksum": checksum_arrays(arrays),
             # Which kernel backend computed the packed arrays: array
             # content is bit-identical across backends by contract, but
@@ -194,8 +212,81 @@ def artifact_info(path: PathLike) -> dict[str, Any]:
     return info
 
 
+_ZIP_LOCAL_HEADER = struct.Struct("<4s5H3I2H")  # fixed 30-byte local file header
+
+
+def _npz_member_offsets(npz_path: Path) -> dict[str, tuple[int, int, bool]]:
+    """Per-member ``(data_offset, data_size, stored)`` for an npz file.
+
+    ``data_offset`` addresses the first byte of the member's ``.npy``
+    stream inside the container (local header and filename skipped);
+    ``stored`` is False for compressed (legacy) members, which cannot
+    be mapped.
+    """
+    out: dict[str, tuple[int, int, bool]] = {}
+    with zipfile.ZipFile(npz_path) as zf, open(npz_path, "rb") as fh:
+        for info in zf.infolist():
+            fh.seek(info.header_offset)
+            raw = fh.read(_ZIP_LOCAL_HEADER.size)
+            if len(raw) != _ZIP_LOCAL_HEADER.size:
+                raise ArtifactError(f"artifact {npz_path} has a truncated zip header")
+            fields = _ZIP_LOCAL_HEADER.unpack(raw)
+            name_len, extra_len = fields[-2], fields[-1]
+            data_off = info.header_offset + _ZIP_LOCAL_HEADER.size + name_len + extra_len
+            key = info.filename.removesuffix(".npy")
+            out[key] = (data_off, info.compress_size, info.compress_type == zipfile.ZIP_STORED)
+    return out
+
+
+def _mmap_npz_arrays(npz_path: Path) -> dict[str, np.ndarray]:
+    """Map every stored npz member as a read-only ``np.memmap``.
+
+    Nothing is copied: each returned array is a view of the page cache
+    over the artifact file, so N processes mapping the same artifact
+    share one physical copy.  Compressed members (legacy artifacts from
+    the ``savez_compressed`` era) cannot be mapped and are decompressed
+    eagerly with a one-time warning.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    eager: list[str] = []
+    with open(npz_path, "rb") as fh:
+        for key, (offset, size, stored) in _npz_member_offsets(npz_path).items():
+            if not stored:
+                eager.append(key)
+                continue
+            fh.seek(offset)
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+            else:
+                raise ArtifactError(
+                    f"artifact member {key} uses unsupported npy format {version}"
+                )
+            if fortran:  # pragma: no cover - savez never writes Fortran order
+                raise ArtifactError(f"artifact member {key} is Fortran-ordered")
+            arrays[key] = np.memmap(npz_path, dtype=dtype, mode="r", offset=fh.tell(), shape=shape)
+    if eager:
+        warnings.warn(
+            f"artifact {npz_path} has {len(eager)} compressed member(s) "
+            "(legacy savez_compressed layout); loading them eagerly -- repack "
+            "with `repro pack` for zero-copy mmap serving",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        with np.load(npz_path) as data:
+            for key in eager:
+                arrays[key] = data[key]
+    return arrays
+
+
 def load_oracle(
-    path: PathLike, verify: bool = True, backend: str | None = None
+    path: PathLike,
+    verify: bool = True,
+    backend: str | None = None,
+    *,
+    mmap: bool = False,
 ) -> GroundTruthOracle:
     """Rebuild a :class:`GroundTruthOracle` from an artifact directory.
 
@@ -207,16 +298,27 @@ def load_oracle(
     ``backend`` selects the kernel backend of the rebuilt oracle
     (``None`` resolves the process selection); artifacts are
     backend-neutral, so any backend can serve any artifact.
+
+    ``mmap=True`` maps the arrays read-only straight out of the npz
+    container instead of materializing copies: the checksum is verified
+    against the file bytes (read through the mapping, nothing retained),
+    and the oracle's factor statistics stay backed by the page cache --
+    so forked serving workers share one physical artifact and per-worker
+    RSS stays flat (see :mod:`repro.serve.prefork` and
+    ``tests/serve/test_prefork.py``).
     """
     path = Path(path)
     info = artifact_info(path)
     npz_path = path / ORACLE_FILE
     if not npz_path.exists():
         raise ArtifactError(f"artifact {path} is missing {ORACLE_FILE}")
-    with get_tracer().span("serve.load_oracle", artifact=str(path)):
+    with get_tracer().span("serve.load_oracle", artifact=str(path), mmap=mmap):
         try:
-            with np.load(npz_path) as data:
-                arrays = {key: data[key] for key in data.files}
+            if mmap:
+                arrays = _mmap_npz_arrays(npz_path)
+            else:
+                with np.load(npz_path) as data:
+                    arrays = {key: data[key] for key in data.files}
         except (OSError, ValueError, zipfile.BadZipFile) as exc:
             # BadZipFile covers zlib/CRC failure on a bit-rotted npz, which
             # numpy surfaces before our content checksum can run.

@@ -51,7 +51,7 @@ import numpy as np
 from repro.obs import get_metrics, render_prometheus
 from repro.serve.service import INVALID_SQUARES, OracleService, Overloaded
 
-__all__ = ["OracleHTTPServer", "build_server"]
+__all__ = ["HandlerContext", "OracleHTTPServer", "build_server"]
 
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -89,11 +89,48 @@ class OracleHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: OracleService,
         info: Optional[dict[str, Any]] = None,
+        worker_label: str = "0",
     ):
         super().__init__(address, _OracleHandler)
         self.service = service
         self.info = info or {}
         self.started_at = time.monotonic()
+        #: Serving-process identity stamped on every prometheus sample
+        #: (worker index under the pre-fork front end, "0" threaded) so
+        #: multi-process scrapes never collide series when aggregated.
+        self.worker_label = worker_label
+        #: Flipped during graceful shutdown: responses carry
+        #: ``Connection: close`` so keep-alive clients release promptly.
+        self.draining = False
+
+
+class HandlerContext:
+    """Duck-typed stand-in for :class:`OracleHTTPServer` per connection.
+
+    :class:`_OracleHandler` only reads ``service`` / ``info`` /
+    ``started_at`` / ``worker_label`` / ``draining`` from its server, so
+    the pre-fork front end (:mod:`repro.serve.prefork`) handles accepted
+    sockets by instantiating the handler directly against one of these
+    -- same routing, same obs series, no ``ThreadingHTTPServer``.
+    """
+
+    __slots__ = ("service", "info", "started_at", "worker_label", "draining")
+
+    def __init__(
+        self,
+        service: OracleService,
+        info: Optional[dict[str, Any]] = None,
+        worker_label: str = "0",
+    ):
+        self.service = service
+        self.info = info or {}
+        self.started_at = time.monotonic()
+        self.worker_label = worker_label
+        self.draining = False
+
+    def handle_connection(self, conn, addr) -> None:
+        """Run the keep-alive HTTP request loop on an accepted socket."""
+        _OracleHandler(conn, addr, self)
 
 
 class _OracleHandler(BaseHTTPRequestHandler):
@@ -140,6 +177,10 @@ class _OracleHandler(BaseHTTPRequestHandler):
             metrics.counter(
                 "serve.http.responses_total", endpoint=label, status=str(status)
             ).inc()
+        if getattr(self.server, "draining", False):
+            # Graceful shutdown: finish this response, then release the
+            # keep-alive connection so the worker can exit.
+            self.close_connection = True
         self._send(status, payload)
 
     def _route(
@@ -153,6 +194,7 @@ class _OracleHandler(BaseHTTPRequestHandler):
                 "uptime_s": round(time.monotonic() - self.server.started_at, 3),
                 "artifact": self.server.info,
                 "queue_depth": service.queue_depth(),
+                "worker": getattr(self.server, "worker_label", "0"),
             }
         if path == "/metrics":
             self._require_method(method, "GET")
@@ -162,6 +204,7 @@ class _OracleHandler(BaseHTTPRequestHandler):
                 text = render_prometheus(
                     get_metrics().snapshot(),
                     extra_gauges={f"serve.service.{k}": v for k, v in stats.items()},
+                    const_labels={"worker": getattr(self.server, "worker_label", "0")},
                 )
                 return 200, _Raw(text, PROM_CONTENT_TYPE)
             if fmt != "json":
@@ -276,6 +319,8 @@ class _OracleHandler(BaseHTTPRequestHandler):
             self.send_header("Content-Length", str(len(body)))
             if status == 503:
                 self.send_header("Retry-After", "1")
+            if self.close_connection:
+                self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover

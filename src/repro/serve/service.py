@@ -209,6 +209,36 @@ class OracleService:
             )
         return arr
 
+    def _validate(
+        self, kind: str, ps: Any, qs: Any
+    ) -> tuple[Optional[np.ndarray], Optional[np.ndarray], tuple]:
+        """Shared request validation: ``(ps_arr, qs_arr, cache_key)``."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown query kind {kind!r} (expected one of {_KINDS})")
+        if kind == "global":
+            return None, None, ("global",)
+        if ps is None:
+            raise ValueError(f"{kind} queries need a ps index list")
+        ps_arr = self._coerce(ps, "ps")
+        if kind in _PAIR_KINDS:
+            if qs is None:
+                raise ValueError(f"{kind} queries need both ps and qs index lists")
+            qs_arr = self._coerce(qs, "qs")
+            if ps_arr.shape != qs_arr.shape:
+                raise ValueError(
+                    f"ps and qs must match in length: {ps_arr.size} vs {qs_arr.size}"
+                )
+        else:
+            if qs is not None:
+                raise ValueError(f"{kind} queries take only ps, got a qs list too")
+            qs_arr = None
+        key = (
+            kind,
+            ps_arr.tobytes(),
+            qs_arr.tobytes() if qs_arr is not None else b"",
+        )
+        return ps_arr, qs_arr, key
+
     def submit(self, kind: str, ps: Any = None, qs: Any = None) -> _Request:
         """Validate, cache-check, and enqueue one request.
 
@@ -218,32 +248,7 @@ class OracleService:
         and :class:`Overloaded` when the queue is saturated (503).
         Cache hits resolve immediately without touching the queue.
         """
-        if kind not in _KINDS:
-            raise ValueError(f"unknown query kind {kind!r} (expected one of {_KINDS})")
-        if kind == "global":
-            ps_arr = qs_arr = None
-            key: tuple = ("global",)
-        else:
-            if ps is None:
-                raise ValueError(f"{kind} queries need a ps index list")
-            ps_arr = self._coerce(ps, "ps")
-            if kind in _PAIR_KINDS:
-                if qs is None:
-                    raise ValueError(f"{kind} queries need both ps and qs index lists")
-                qs_arr = self._coerce(qs, "qs")
-                if ps_arr.shape != qs_arr.shape:
-                    raise ValueError(
-                        f"ps and qs must match in length: {ps_arr.size} vs {qs_arr.size}"
-                    )
-            else:
-                if qs is not None:
-                    raise ValueError(f"{kind} queries take only ps, got a qs list too")
-                qs_arr = None
-            key = (
-                kind,
-                ps_arr.tobytes(),
-                qs_arr.tobytes() if qs_arr is not None else b"",
-            )
+        ps_arr, qs_arr, key = self._validate(kind, ps, qs)
         req = _Request(kind, ps_arr, qs_arr, cache_key=key)
         self._counts["requests"] += 1
         self._counts["queries"] += req.size
@@ -274,6 +279,37 @@ class OracleService:
             self._pending.append(req)
             self._not_empty.notify()
         return req
+
+    def answer(self, kind: str, ps: Any = None, qs: Any = None) -> Any:
+        """Answer one request synchronously on the caller's thread.
+
+        The queue-free fast path behind the binary wire protocol
+        (:mod:`repro.serve.prefork`): identical validation, LRU cache,
+        masking semantics, and request/query/hit/miss tallies as the
+        :meth:`submit` path, but without the batcher hand-off -- one
+        kernel call, no :class:`threading.Event` round trip.  Coalescing
+        is the *client's* job on this path (send batched index arrays);
+        the per-frame latency saved is what lets a pre-fork worker push
+        tens of thousands of frames per second.  Does not require
+        :meth:`start` and never sheds (there is no queue to saturate).
+        """
+        ps_arr, qs_arr, key = self._validate(kind, ps, qs)
+        self._counts["requests"] += 1
+        size = int(ps_arr.size) if ps_arr is not None else 1
+        self._counts["queries"] += size
+        self._m_requests.inc()
+        self._m_queries.inc(size)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        if kind == "global":
+            if self._global is None:
+                self._global = int(self.oracle.global_squares())
+            result: Any = self._global
+        else:
+            result = self._compute(kind, ps_arr, qs_arr)
+        self._cache_put(key, result)
+        return result
 
     # ------------------------------------------------------------------
     # Cache
@@ -342,6 +378,21 @@ class OracleService:
                     for req in reqs:
                         req.event.set()
 
+    def _compute(self, kind: str, ps: np.ndarray, qs: Optional[np.ndarray]) -> np.ndarray:
+        """One fused kernel pass for validated index arrays of ``kind``."""
+        if kind == "degree":
+            return self.oracle.degrees(ps)
+        if kind == "vertex_squares":
+            return self.oracle.squares_at_vertices(ps)
+        if kind == "edge_squares":
+            dia = self.oracle.squares_at_edges(ps, qs, on_invalid="mask")
+            self._counts["invalid"] += int((dia == INVALID_SQUARES).sum())
+            return dia
+        # clustering -- NaN masking delegated to the oracle/backend
+        out = self.oracle.clustering_at_edges(ps, qs)
+        self._counts["invalid"] += int(np.isnan(out).sum())
+        return out
+
     def _execute(self, kind: str, reqs: list[_Request]) -> None:
         """Answer every request of ``kind`` with one coalesced kernel pass."""
         if kind == "global":
@@ -352,19 +403,11 @@ class OracleService:
                 self._store(req)
             return
         ps = np.concatenate([req.ps for req in reqs]) if len(reqs) > 1 else reqs[0].ps
-        if kind == "degree":
-            out: np.ndarray = self.oracle.degrees(ps)
-        elif kind == "vertex_squares":
-            out = self.oracle.squares_at_vertices(ps)
-        else:
+        if kind in _PAIR_KINDS:
             qs = np.concatenate([req.qs for req in reqs]) if len(reqs) > 1 else reqs[0].qs
-            if kind == "edge_squares":
-                dia = self.oracle.squares_at_edges(ps, qs, on_invalid="mask")
-                out = dia
-                self._counts["invalid"] += int((dia == INVALID_SQUARES).sum())
-            else:  # clustering -- NaN masking delegated to the oracle/backend
-                out = self.oracle.clustering_at_edges(ps, qs)
-                self._counts["invalid"] += int(np.isnan(out).sum())
+        else:
+            qs = None
+        out = self._compute(kind, ps, qs)
         offset = 0
         for req in reqs:
             req.result = out[offset : offset + req.size]

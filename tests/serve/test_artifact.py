@@ -147,6 +147,86 @@ def test_overwrite_is_atomic_and_idempotent(oracle_i, tmp_path):
     load_oracle(out)
 
 
+# ----------------------------------------------------------------------
+# Zero-copy mmap loading
+# ----------------------------------------------------------------------
+
+
+def _mmap_backed(arr: np.ndarray) -> bool:
+    """Whether the array's storage bottoms out in an OS memory mapping."""
+    import mmap as _mmap
+
+    base = arr
+    while isinstance(base, np.ndarray):
+        base = base.base
+    return isinstance(base, _mmap.mmap)
+
+
+@pytest.mark.parametrize("oracle_fixture", ["oracle_i", "oracle_ii"])
+def test_mmap_load_bit_identical(oracle_fixture, tmp_path, request):
+    """mmap=True answers every query bit-identically to the eager load."""
+    oracle = request.getfixturevalue(oracle_fixture)
+    out = save_oracle(oracle, tmp_path / "art")
+    mapped = load_oracle(out, mmap=True)
+    ps = np.arange(oracle.bk.n, dtype=np.int64)
+    assert np.array_equal(mapped.degrees(ps), oracle.degrees(ps))
+    assert np.array_equal(mapped.squares_at_vertices(ps), oracle.squares_at_vertices(ps))
+    ep, eq = product_edges(oracle)
+    assert np.array_equal(mapped.squares_at_edges(ep, eq), oracle.squares_at_edges(ep, eq))
+    assert np.array_equal(
+        mapped.clustering_at_edges(ep, eq), oracle.clustering_at_edges(ep, eq), equal_nan=True
+    )
+    assert mapped.global_squares() == oracle.global_squares()
+
+
+def test_mmap_load_is_zero_copy_and_read_only(oracle_i, tmp_path):
+    """The mapped oracle's big arrays are page-cache views of oracle.npz,
+    not materialized copies -- and read-only, so nothing can dirty the
+    shared pages behind every serving worker's back."""
+    out = save_oracle(oracle_i, tmp_path / "art")
+    mapped = load_oracle(out, mmap=True)
+    for stats in (mapped.stats_a, mapped.stats_b):
+        for arr in (stats.d, stats.w2, stats.s, stats.cw4,
+                    stats.adj.data, stats.adj.indices, stats.adj.indptr,
+                    stats.diamond.data, stats.diamond.indices, stats.diamond.indptr):
+            assert _mmap_backed(arr)
+            assert not arr.flags.writeable
+    # The eager path stays materialized (and writable) as before.
+    eager = load_oracle(out)
+    assert not _mmap_backed(eager.stats_a.d)
+
+
+def test_mmap_checksum_verified_before_serving(oracle_i, tmp_path):
+    """Tampered bytes fail the sidecar checksum under mmap=True too --
+    mapping is not a verification bypass."""
+    out = save_oracle(oracle_i, tmp_path / "art")
+    from repro.serve.artifact import _npz_member_offsets
+
+    offset, size, stored = _npz_member_offsets(out / ORACLE_FILE)["a_d"]
+    assert stored
+    blob = bytearray((out / ORACLE_FILE).read_bytes())
+    blob[offset + size - 1] ^= 0x01  # last byte of the a_d payload
+    (out / ORACLE_FILE).write_bytes(bytes(blob))
+    with pytest.raises(ArtifactIntegrityError, match="checksum mismatch"):
+        load_oracle(out, mmap=True)
+
+
+def test_mmap_legacy_compressed_artifact_falls_back_eagerly(oracle_i, tmp_path):
+    """A savez_compressed-era artifact still loads under mmap=True --
+    eagerly, with a warning naming the repack remedy."""
+    out = save_oracle(oracle_i, tmp_path / "art")
+    with np.load(out / ORACLE_FILE) as data:
+        arrays = {key: data[key].copy() for key in data.files}
+    with open(out / ORACLE_FILE, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    # Same bytes, so the content checksum still holds (it hashes array
+    # content, not the zip container).
+    with pytest.warns(RuntimeWarning, match="compressed member"):
+        loaded = load_oracle(out, mmap=True)
+    ps = np.arange(oracle_i.bk.n, dtype=np.int64)
+    assert np.array_equal(loaded.degrees(ps), oracle_i.degrees(ps))
+
+
 def test_from_factor_stats_matches_fresh_oracle(product_i, oracle_i):
     """The export hook's inverse rebuilds an equivalent oracle directly."""
     rebuilt = GroundTruthOracle.from_factor_stats(*oracle_i.artifact_state())

@@ -159,8 +159,14 @@ def test_flagless_serve_is_instrumented_by_default(tmp_path):
         with urllib.request.urlopen(base + "/metrics?format=prometheus", timeout=5) as resp:
             text = resp.read().decode("utf-8")
         assert lint_exposition(text) == []
-        assert 'repro_serve_http_responses_total{endpoint="v1_degree",status="200"}' in text
-        assert 'repro_serve_http_latency_seconds_quantile{endpoint="v1_degree",quantile="0.5"}' in text
+        assert (
+            'repro_serve_http_responses_total{endpoint="v1_degree",status="200",worker="0"}'
+            in text
+        )
+        assert (
+            'repro_serve_http_latency_seconds_quantile{endpoint="v1_degree",quantile="0.5",worker="0"}'
+            in text
+        )
         assert 'quantile="0.99"' in text
     finally:
         proc.send_signal(signal.SIGTERM)
@@ -177,6 +183,7 @@ def test_serve_parser_defaults():
 
     args = build_parser().parse_args(["serve", "--artifact", "x"])
     assert (args.port, args.workers, args.max_queue, args.cache_size) == (8571, 1, 1024, 4096)
+    assert (args.workers_procs, args.protocol, args.no_mmap) == (0, "both", False)
     assert args.fn.__name__ == "_cmd_serve"
 
 

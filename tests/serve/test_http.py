@@ -137,12 +137,14 @@ def test_metrics_prometheus_exposition(served):
     def sample(fragment):
         return [line for line in lines if fragment in line and not line.startswith("#")]
 
-    ok = sample('repro_serve_http_responses_total{endpoint="v1_degree",status="200"}')
-    bad = sample('repro_serve_http_responses_total{endpoint="v1_degree",status="400"}')
+    ok = sample('repro_serve_http_responses_total{endpoint="v1_degree",status="200",worker="0"}')
+    bad = sample('repro_serve_http_responses_total{endpoint="v1_degree",status="400",worker="0"}')
     assert ok and int(ok[0].rsplit(" ", 1)[1]) >= 1
     assert bad and int(bad[0].rsplit(" ", 1)[1]) >= 1
     for q in ("0.5", "0.99"):
-        assert sample(f'repro_serve_http_latency_seconds_quantile{{endpoint="v1_degree",quantile="{q}"}}')
+        assert sample(
+            f'repro_serve_http_latency_seconds_quantile{{endpoint="v1_degree",quantile="{q}",worker="0"}}'
+        )
     # Service tallies ride along as gauges in the same scrape.
     assert sample("repro_serve_service_requests")
 
