@@ -10,7 +10,8 @@ Wraps the library's three workflows for shell users:
   materializing it; ``--check`` additionally materializes and verifies
   against direct counting.
 * ``shards`` -- fault-tolerant parallel generation into checksummed
-  ``.npz`` shards with a ``manifest.json``; supports ``--resume`` after
+  shards (``--format npz`` or binary ``edges``, ``--partition``
+  entries/rows/degree) with a ``manifest.json``; supports ``--resume`` after
   a crash, bounded ``--retries`` with backoff, deterministic
   ``--fault-rate`` injection for drills, and ``--verify`` end-to-end
   checksum validation (see docs/fault_tolerance.md).
@@ -259,6 +260,9 @@ def _cmd_shards(args) -> int:
             n_shards=args.shards,
             n_workers=args.workers,
             ground_truth=args.ground_truth,
+            partition=args.partition,
+            shard_format=args.shard_format,
+            codec=args.codec,
             resume=args.resume,
             retry=policy,
             fault_injector=injector,
@@ -328,6 +332,7 @@ def _cmd_verify(args) -> int:
     from repro.refcheck import run_verification
 
     report = run_verification(
+        tier=args.tier,
         seed=args.seed,
         trials=args.trials,
         max_factor_size=args.max_factor_size,
@@ -590,7 +595,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sh = sub.add_parser(
         "shards",
-        help="fault-tolerant parallel generation into checksummed .npz shards",
+        help="fault-tolerant parallel generation into checksummed shard files "
+        "(.npz or binary .edges)",
     )
     _add_product_args(sh)
     sh.add_argument("-o", "--out-dir", required=True, help="shard output directory")
@@ -600,6 +606,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--ground-truth",
         action="store_true",
         help="attach exact per-entry 4-cycle counts to every shard",
+    )
+    sh.add_argument(
+        "--partition",
+        choices=["entries", "rows", "degree"],
+        default="entries",
+        help="shard slicing strategy: left-factor entry slices (default), "
+        "equal product-row ranges, or degree-balanced row ranges",
+    )
+    sh.add_argument(
+        "--format",
+        dest="shard_format",
+        choices=["npz", "edges"],
+        default="npz",
+        help="shard container: NumPy .npz (default) or binary repro.edges/1",
+    )
+    sh.add_argument(
+        "--codec",
+        choices=["raw", "deflate", "zstd"],
+        default="raw",
+        help="block compression for --format edges (zstd needs the optional "
+        "zstandard package)",
     )
     sh.add_argument(
         "--resume",
@@ -643,6 +670,13 @@ def build_parser() -> argparse.ArgumentParser:
     v = sub.add_parser(
         "verify",
         help="differential verification against a brute-force referee (exit 4 on divergence)",
+    )
+    v.add_argument(
+        "--tier",
+        choices=["standard", "scale"],
+        default="standard",
+        help="verification tier: the 2-factor formula corpus (default) or the "
+        "extreme-scale tier (streamed deep-chain shards vs a brute-force referee)",
     )
     v.add_argument("--seed", type=int, default=0, help="seed for the random factor corpus")
     v.add_argument(

@@ -93,6 +93,8 @@ from repro.kronecker.kernels import (
     vertex_squares_grid,
 )
 from repro.kronecker.multifactor import (
+    ChainFactor,
+    KroneckerChain,
     combine_stats,
     multi_kronecker_global_squares,
     multi_kronecker_stats,
@@ -111,7 +113,11 @@ from repro.kronecker.spectral import (
     product_spectral_radius,
     product_spectrum,
 )
-from repro.kronecker.streaming import stream_edges, streamed_connectivity_audit
+from repro.kronecker.streaming import (
+    stream_chain_edges,
+    stream_edges,
+    streamed_connectivity_audit,
+)
 from repro.kronecker.triangles import (
     product_edge_triangles,
     product_global_triangles,
@@ -167,6 +173,7 @@ __all__ = [
     "cor2_external_density_bound",
     "GroundTruthOracle",
     "stream_edges",
+    "stream_chain_edges",
     "streamed_connectivity_audit",
     "sample_vertices",
     "sample_edges",
@@ -182,6 +189,8 @@ __all__ = [
     "combine_stats",
     "multi_kronecker_stats",
     "multi_kronecker_global_squares",
+    "ChainFactor",
+    "KroneckerChain",
     "adjacency_spectrum",
     "product_spectrum",
     "product_spectral_radius",

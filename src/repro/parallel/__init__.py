@@ -6,14 +6,22 @@ ground truth values during generation".  This subpackage is the
 single-node, multi-process realisation of that plan:
 
 * :mod:`~repro.parallel.partition` -- deterministic work partitioning:
-  the product's edge blocks are keyed by the left factor's stored
-  entries, so slicing *those* slices the product into disjoint,
-  equally-shaped shards (the same decomposition a distributed
-  generator would ship to ranks).
+  ``entries`` slices the left factor's stored-entry list (equal blocks
+  by construction); the extreme-scale ``rows``/``degree`` strategies
+  slice the product row space, with ``degree`` balancing shards by the
+  exact per-row work ``Π_t d_t(i_t)`` computed from factor degree
+  statistics alone.
 * :mod:`~repro.parallel.generate` -- parallel shard generation: each
   worker process receives the factor CSRs (cheap -- factors are tiny)
-  and a slice of left-factor entries, and writes its shard of product
-  edges (optionally with exact per-edge ground truth) independently.
+  and a slice of left-factor entries or product rows, and writes its
+  shard of product edges (optionally with exact per-edge ground truth)
+  independently.  :func:`~repro.parallel.generate.generate_chain_shards`
+  streams deep multi-factor chains shard by shard without ever
+  materializing an intermediate product.
+* :mod:`~repro.parallel.edgeio` -- the versioned binary
+  ``repro.edges/1`` shard container: little-endian int64 blocks,
+  optional compression, magic-byte sniffing, and footer checksums
+  compatible with the manifest's content checksums.
 * :mod:`~repro.parallel.count` -- parallel direct butterfly counting
   by row-block codegree partial sums; the validation-side workload a
   cluster would run against the generator's ground truth.
@@ -32,6 +40,15 @@ bit-identical to the serial ones -- which the tests assert.
 """
 
 from repro.parallel.count import parallel_global_butterflies
+from repro.parallel.edgeio import (
+    EDGES_SCHEMA,
+    EdgeFormatError,
+    EdgeIntegrityError,
+    read_edges_file,
+    read_shard_arrays,
+    sniff_shard_format,
+    write_edges_file,
+)
 from repro.parallel.faults import (
     FaultInjectedError,
     FaultInjector,
@@ -39,13 +56,20 @@ from repro.parallel.faults import (
     RetryPolicy,
     map_with_retry,
 )
-from repro.parallel.generate import generate_shards, load_shards, parallel_edge_count
+from repro.parallel.generate import (
+    SHARD_FORMATS,
+    generate_chain_shards,
+    generate_shards,
+    load_shards,
+    parallel_edge_count,
+)
 from repro.parallel.manifest import (
     MANIFEST_NAME,
     ManifestError,
     ShardEntry,
     ShardIntegrityError,
     ShardManifest,
+    chain_signature,
     checksum_arrays,
     load_manifest,
     product_signature,
@@ -54,15 +78,35 @@ from repro.parallel.manifest import (
     verify_shards,
     write_manifest,
 )
-from repro.parallel.partition import left_entry_slices, shard_of_product
+from repro.parallel.partition import (
+    PARTITION_STRATEGIES,
+    PartitionPlan,
+    left_entry_slices,
+    plan_partition,
+    shard_of_product,
+    shard_of_rows,
+)
 
 __all__ = [
+    "PARTITION_STRATEGIES",
+    "PartitionPlan",
+    "plan_partition",
     "left_entry_slices",
     "shard_of_product",
+    "shard_of_rows",
+    "SHARD_FORMATS",
     "generate_shards",
+    "generate_chain_shards",
     "load_shards",
     "parallel_edge_count",
     "parallel_global_butterflies",
+    "EDGES_SCHEMA",
+    "EdgeFormatError",
+    "EdgeIntegrityError",
+    "read_edges_file",
+    "read_shard_arrays",
+    "sniff_shard_format",
+    "write_edges_file",
     "FaultInjector",
     "FaultInjectedError",
     "RetryPolicy",
@@ -73,6 +117,7 @@ __all__ = [
     "ShardEntry",
     "ShardIntegrityError",
     "ShardManifest",
+    "chain_signature",
     "checksum_arrays",
     "load_manifest",
     "product_signature",

@@ -1,11 +1,29 @@
 """Parallel shard generation of Kronecker products, fault-tolerantly.
 
-Each worker process independently expands a slice of the left factor's
-entries into its shard of product edges (see
-:mod:`repro.parallel.partition`) and writes an ``.npz`` shard file --
-the single-node analogue of ranks writing distributed graph partitions.
-Ground truth can be attached during generation, so a cluster-scale run
-would never need a counting pass at all (§V).
+Each worker process independently materializes one shard of product
+edges and writes it atomically -- the single-node analogue of ranks
+writing distributed graph partitions.  Ground truth can be attached
+during generation, so a cluster-scale run would never need a counting
+pass at all (§V).
+
+Two generation sources share one execution engine:
+
+* :func:`generate_shards` -- a 2-factor
+  :class:`~repro.kronecker.assumptions.BipartiteKronecker` product.
+  ``partition="entries"`` (the legacy default) slices the left
+  factor's entry list; ``"rows"``/``"degree"`` slice the product row
+  space via a deep-chain view of the same product.
+* :func:`generate_chain_shards` -- a deep multi-factor
+  :class:`~repro.kronecker.multifactor.KroneckerChain`
+  (``A ⊗ B ⊗ C ⊗ …``), streamed shard by shard without ever
+  materializing an intermediate product.
+
+Shards are encoded per ``shard_format``: ``"npz"`` (NumPy zip, the
+legacy container) or ``"edges"`` (the versioned binary
+``repro.edges/1`` block format of :mod:`repro.parallel.edgeio`, with
+optional compression via ``codec=``).  Both carry the same
+*content* checksum, so manifests, resume, and verification are
+container-independent.
 
 Fault tolerance (docs/fault_tolerance.md):
 
@@ -18,13 +36,15 @@ Fault tolerance (docs/fault_tolerance.md):
 * failed or killed workers are retried with bounded exponential
   backoff (:mod:`repro.parallel.faults`), and ``resume=True``
   reconciles against the manifest so completed shards are skipped;
-* :func:`load_shards` re-verifies content checksums before trusting
-  shard data.
+* :func:`load_shards` identifies each shard's container by its magic
+  bytes (never the file extension) and re-verifies content checksums
+  before trusting shard data.
 
-Workers receive the whole :class:`BipartiteKronecker` handle: factors
-are tiny (that's the premise of the paper), so pickling them to every
-worker costs microseconds; the *product* never crosses process
-boundaries except as the shard being produced.
+Workers receive the whole product handle (``BipartiteKronecker`` or
+``KroneckerChain``): factors are tiny (that's the premise of the
+paper), so pickling them to every worker costs microseconds; the
+*product* never crosses process boundaries except as the shard being
+produced.
 """
 
 from __future__ import annotations
@@ -33,29 +53,61 @@ import os
 import time
 import zipfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.kronecker.assumptions import BipartiteKronecker
+from repro.kronecker.multifactor import KroneckerChain
 from repro.obs import MetricsRegistry, get_events, get_metrics, get_tracer
+from repro.parallel.edgeio import read_shard_arrays, write_edges_file
 from repro.parallel.faults import FaultInjector, RetryPolicy, map_with_retry
 from repro.parallel.manifest import (
     MANIFEST_NAME,
     ShardEntry,
     ShardIntegrityError,
     ShardManifest,
+    chain_signature,
     checksum_arrays,
     load_manifest,
     product_signature,
     shard_file_checksum,
     write_manifest,
 )
-from repro.parallel.partition import left_entry_slices, shard_of_product
+from repro.parallel.partition import (
+    PartitionPlan,
+    plan_partition,
+    shard_of_product,
+    shard_of_rows,
+)
 
-__all__ = ["generate_shards", "parallel_edge_count", "load_shards"]
+__all__ = [
+    "SHARD_FORMATS",
+    "generate_shards",
+    "generate_chain_shards",
+    "parallel_edge_count",
+    "load_shards",
+]
 
 PathLike = Union[str, os.PathLike]
+
+#: shard container formats and their file suffixes
+SHARD_FORMATS = {"npz": ".npz", "edges": ".edges"}
+
+
+def _write_payload(tmp: str, arrays: dict[str, np.ndarray], shard_format: str, codec: str) -> str:
+    """Encode one shard's arrays at ``tmp``; return the content checksum.
+
+    ``codec`` applies to the ``edges`` format only (``npz`` is always
+    zip-deflate per NumPy).  Either container yields the same content
+    checksum for the same arrays.
+    """
+    if shard_format == "edges":
+        return write_edges_file(tmp, arrays, codec=codec)
+    checksum = checksum_arrays(arrays)
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **arrays)
+    return checksum
 
 
 def _write_shard(
@@ -66,10 +118,12 @@ def _write_shard(
     path: str,
     ground_truth: bool,
     backend: Optional[str] = None,
+    shard_format: str = "npz",
+    codec: str = "raw",
     attempt: int = 0,
     injector: Optional[FaultInjector] = None,
 ):
-    """Worker: expand one slice, write an ``.npz`` shard atomically.
+    """Worker: expand one left-entry slice, write its shard atomically.
 
     Returns ``(entries, bytes, checksum, metrics_snapshot)``; the parent
     merges the snapshot (workers cannot share the parent's registry
@@ -92,9 +146,48 @@ def _write_shard(
     else:
         p, q = shard_of_product(bk, start, stop)
         arrays = {"p": p, "q": q}
-    checksum = checksum_arrays(arrays)
-    with open(tmp, "wb") as fh:
-        np.savez(fh, **arrays)
+    checksum = _write_payload(tmp, arrays, shard_format, codec)
+    nbytes = os.path.getsize(tmp)
+    os.replace(tmp, path)
+    reg.histogram("parallel.generate.worker_seconds").observe(time.perf_counter() - t0)
+    reg.histogram("parallel.generate.shard_size_bytes").observe(nbytes)
+    reg.counter("parallel.generate.entries_total").inc(int(p.size))
+    reg.counter("parallel.generate.shards_total").inc()
+    return int(p.size), int(nbytes), checksum, reg.snapshot()
+
+
+def _write_row_shard(
+    chain: KroneckerChain,
+    index: int,
+    start: int,
+    stop: int,
+    path: str,
+    ground_truth: bool,
+    shard_format: str = "edges",
+    codec: str = "raw",
+    attempt: int = 0,
+    injector: Optional[FaultInjector] = None,
+):
+    """Worker: stream product rows ``[start, stop)`` into one shard.
+
+    The row-space twin of :func:`_write_shard`, serving both the deep
+    multi-factor chains of :func:`generate_chain_shards` and the
+    ``rows``/``degree`` partitions of :func:`generate_shards`.  Same
+    contract: atomic ``.part`` + ``os.replace``, same return shape.
+    """
+    reg = MetricsRegistry()
+    tmp = path + ".part"
+    if injector is not None:
+        reg.counter("parallel.generate.fault_checks_total").inc()
+        injector.maybe_fail(index, attempt, partial_path=tmp)
+    t0 = time.perf_counter()
+    if ground_truth:
+        p, q, squares = shard_of_rows(chain, start, stop, attach_ground_truth=True)
+        arrays = {"p": p, "q": q, "squares": squares}
+    else:
+        p, q = shard_of_rows(chain, start, stop)
+        arrays = {"p": p, "q": q}
+    checksum = _write_payload(tmp, arrays, shard_format, codec)
     nbytes = os.path.getsize(tmp)
     os.replace(tmp, path)
     reg.histogram("parallel.generate.worker_seconds").observe(time.perf_counter() - t0)
@@ -112,10 +205,25 @@ def _count_shard(
     attempt: int = 0,
     injector: Optional[FaultInjector] = None,
 ) -> int:
-    """Worker: count one slice's product entries (no I/O)."""
+    """Worker: count one left-entry slice's product entries (no I/O)."""
     if injector is not None:
         injector.maybe_fail(index, attempt)
     p, _ = shard_of_product(bk, start, stop)
+    return int(p.size)
+
+
+def _count_row_shard(
+    chain: KroneckerChain,
+    index: int,
+    start: int,
+    stop: int,
+    attempt: int = 0,
+    injector: Optional[FaultInjector] = None,
+) -> int:
+    """Worker: count one product-row range's entries by generating them."""
+    if injector is not None:
+        injector.maybe_fail(index, attempt)
+    p, _ = shard_of_rows(chain, start, stop)
     return int(p.size)
 
 
@@ -139,6 +247,110 @@ def _reusable_shards(
     return reusable
 
 
+def _run_generation(
+    worker: Callable,
+    make_args: Callable[[int, int, int, str], tuple],
+    plan: PartitionPlan,
+    out_dir: Path,
+    signature: dict[str, Any],
+    *,
+    n_workers: int | None,
+    ground_truth: bool,
+    shard_format: str,
+    resume: bool,
+    retry: Optional[RetryPolicy],
+    fault_injector: Optional[FaultInjector],
+    span_attrs: dict[str, Any],
+) -> list[Path]:
+    """Execute one partition plan: resume reconciliation, worker pool,
+    incremental manifest.  Shared by both generation entry points."""
+    suffix = SHARD_FORMATS[shard_format]
+    bounds = list(plan.bounds)
+    paths = [out_dir / f"shard_{k:04d}{suffix}" for k in range(len(bounds))]
+    if n_workers is None:
+        n_workers = min(len(bounds), os.cpu_count() or 1)
+    manifest_path = out_dir / MANIFEST_NAME
+    manifest = ShardManifest(signature=signature)
+    done: set[int] = set()
+    if resume and manifest_path.exists():
+        manifest = load_manifest(manifest_path)
+        manifest.require_signature(signature)
+        done = _reusable_shards(manifest, paths)
+        # Drop entries that failed reconciliation so the manifest never
+        # vouches for bytes we are about to rewrite.
+        for index in sorted(set(manifest.shards) - done):
+            del manifest.shards[index]
+    metrics = get_metrics()
+    events = get_events()
+    with get_tracer().span(
+        "parallel.generate_shards",
+        n_shards=len(bounds),
+        n_workers=n_workers,
+        ground_truth=ground_truth,
+        resume=resume,
+        **span_attrs,
+    ) as sp:
+        metrics.counter("parallel.generate.shards_skipped_total").inc(len(done))
+        write_manifest(manifest, manifest_path)
+        if events.enabled:
+            events.emit(
+                "shards.planned",
+                n_shards=len(bounds),
+                n_workers=n_workers,
+                skipped=len(done),
+                total_entries=int(plan.total_work),
+                ground_truth=ground_truth,
+                resume=resume,
+                **span_attrs,
+            )
+            for index in sorted(done):
+                entry = manifest.shards[index]
+                events.emit("shard.skipped", index=index, entries=entry.entries)
+        tasks = [
+            (k, make_args(k, start, stop, str(paths[k])))
+            for k, (start, stop) in enumerate(bounds)
+            if k not in done
+        ]
+
+        def on_success(key: int, result) -> None:
+            entries, nbytes, checksum, snap = result
+            metrics.merge_snapshot(snap)
+            if events.enabled:
+                events.emit(
+                    "shard.completed", index=key, entries=entries, bytes=nbytes
+                )
+            start, stop = bounds[key]
+            manifest.add(
+                ShardEntry(
+                    index=key,
+                    path=paths[key].name,
+                    start=start,
+                    stop=stop,
+                    entries=entries,
+                    bytes=nbytes,
+                    checksum=checksum,
+                )
+            )
+            write_manifest(manifest, manifest_path)
+
+        map_with_retry(
+            worker,
+            tasks,
+            n_workers=n_workers,
+            policy=retry,
+            injector=fault_injector,
+            metric_prefix="parallel.generate",
+            on_success=on_success,
+        )
+        sp.set(shards_written=len(tasks), shards_skipped=len(done))
+        if events.enabled:
+            events.emit(
+                "shards.finished", written=len(tasks), skipped=len(done)
+            )
+            events.flush()
+    return paths
+
+
 def generate_shards(
     bk: BipartiteKronecker,
     out_dir: PathLike,
@@ -146,20 +358,33 @@ def generate_shards(
     n_workers: int | None = None,
     ground_truth: bool = False,
     *,
+    partition: str = "entries",
+    shard_format: str = "npz",
+    codec: str = "raw",
     resume: bool = False,
     retry: Optional[RetryPolicy] = None,
     fault_injector: Optional[FaultInjector] = None,
     backend: Optional[str] = None,
 ) -> list[Path]:
-    """Write the product as ``n_shards`` ``.npz`` shard files, in parallel.
+    """Write the product as ``n_shards`` shard files, in parallel.
 
     Returns the shard paths in partition order.  Shard ``k`` holds
     arrays ``p``, ``q`` (directed entries) and, with
     ``ground_truth=True``, ``squares`` (exact per-entry 4-cycle counts).
-    The concatenation of all shards is exactly the product's COO entry
-    list in left-factor order -- deterministic regardless of worker
-    scheduling, retries, or resume boundaries, because each shard's
-    content depends only on its slice.
+    Each shard's content depends only on its slice -- deterministic
+    regardless of worker scheduling, retries, or resume boundaries.
+
+    ``partition`` chooses the slicing strategy
+    (:func:`~repro.parallel.partition.plan_partition`): ``"entries"``
+    (left-factor entry slices, the default; shard union is the COO
+    entry list in left-factor order), or ``"rows"`` / ``"degree"``
+    (contiguous product-row ranges; shard union is the entry list in
+    product-row order, with ``degree`` balancing shards by exact
+    per-row work from factor degree statistics).  ``shard_format``
+    picks the container: ``"npz"`` (default) or ``"edges"`` (binary
+    ``repro.edges/1``, optionally compressed via ``codec=``).  Both
+    knobs enter the manifest signature, so ``resume=True`` refuses to
+    mix configurations.
 
     A ``manifest.json`` is maintained in ``out_dir`` (atomically, after
     every shard completion) recording each completed shard's slice
@@ -184,103 +409,128 @@ def generate_shards(
     from repro.kronecker.backends import get_backend
 
     backend_name = get_backend(backend).name
+    if shard_format not in SHARD_FORMATS:
+        raise ValueError(
+            f"unknown shard format {shard_format!r} (choose from {sorted(SHARD_FORMATS)})"
+        )
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    slices = left_entry_slices(bk, n_shards)
-    paths = [out_dir / f"shard_{k:04d}.npz" for k in range(len(slices))]
-    if n_workers is None:
-        n_workers = min(len(slices), os.cpu_count() or 1)
-    signature = product_signature(bk, len(slices), ground_truth)
-    manifest_path = out_dir / MANIFEST_NAME
-    manifest = ShardManifest(signature=signature)
-    done: set[int] = set()
-    if resume and manifest_path.exists():
-        manifest = load_manifest(manifest_path)
-        manifest.require_signature(signature)
-        done = _reusable_shards(manifest, paths)
-        # Drop entries that failed reconciliation so the manifest never
-        # vouches for bytes we are about to rewrite.
-        for index in sorted(set(manifest.shards) - done):
-            del manifest.shards[index]
-    metrics = get_metrics()
-    events = get_events()
-    with get_tracer().span(
-        "parallel.generate_shards",
-        n_shards=len(slices),
+    plan = plan_partition(bk, n_shards, partition)
+    signature = product_signature(
+        bk, plan.n_shards, ground_truth, partition=partition, shard_format=shard_format
+    )
+    if partition == "entries":
+        worker: Callable = _write_shard
+
+        def make_args(k: int, start: int, stop: int, path: str) -> tuple:
+            return (bk, k, start, stop, path, ground_truth, backend_name, shard_format, codec)
+
+    else:
+        chain = KroneckerChain.from_bipartite(bk)
+        worker = _write_row_shard
+
+        def make_args(k: int, start: int, stop: int, path: str) -> tuple:
+            return (chain, k, start, stop, path, ground_truth, shard_format, codec)
+
+    return _run_generation(
+        worker,
+        make_args,
+        plan,
+        out_dir,
+        signature,
         n_workers=n_workers,
         ground_truth=ground_truth,
+        shard_format=shard_format,
         resume=resume,
-        backend=backend_name,
-    ) as sp:
-        metrics.counter("parallel.generate.shards_skipped_total").inc(len(done))
-        write_manifest(manifest, manifest_path)
-        total_entries = bk.M.nnz * bk.B.graph.nnz
-        if events.enabled:
-            events.emit(
-                "shards.planned",
-                n_shards=len(slices),
-                n_workers=n_workers,
-                skipped=len(done),
-                total_entries=int(total_entries),
-                ground_truth=ground_truth,
-                resume=resume,
-                backend=backend_name,
-            )
-            for index in sorted(done):
-                entry = manifest.shards[index]
-                events.emit("shard.skipped", index=index, entries=entry.entries)
-        tasks = [
-            (k, (bk, k, start, stop, str(paths[k]), ground_truth, backend_name))
-            for k, (start, stop) in enumerate(slices)
-            if k not in done
-        ]
+        retry=retry,
+        fault_injector=fault_injector,
+        span_attrs={
+            "backend": backend_name,
+            "partition": partition,
+            "shard_format": shard_format,
+        },
+    )
 
-        def on_success(key: int, result) -> None:
-            entries, nbytes, checksum, snap = result
-            metrics.merge_snapshot(snap)
-            if events.enabled:
-                events.emit(
-                    "shard.completed", index=key, entries=entries, bytes=nbytes
-                )
-            start, stop = slices[key]
-            manifest.add(
-                ShardEntry(
-                    index=key,
-                    path=paths[key].name,
-                    start=start,
-                    stop=stop,
-                    entries=entries,
-                    bytes=nbytes,
-                    checksum=checksum,
-                )
-            )
-            write_manifest(manifest, manifest_path)
 
-        map_with_retry(
-            _write_shard,
-            tasks,
-            n_workers=n_workers,
-            policy=retry,
-            injector=fault_injector,
-            metric_prefix="parallel.generate",
-            on_success=on_success,
+def generate_chain_shards(
+    chain: Union[KroneckerChain, Sequence],
+    out_dir: PathLike,
+    n_shards: int = 4,
+    n_workers: int | None = None,
+    ground_truth: bool = False,
+    *,
+    partition: str = "degree",
+    shard_format: str = "edges",
+    codec: str = "raw",
+    resume: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault_injector: Optional[FaultInjector] = None,
+) -> list[Path]:
+    """Shard a deep multi-factor product ``A ⊗ B ⊗ C ⊗ …`` to disk.
+
+    ``chain`` is a :class:`~repro.kronecker.multifactor.KroneckerChain`
+    or a sequence of :class:`~repro.graphs.base.Graph` factors.  Each
+    worker streams exactly its contiguous product-row range -- no
+    intermediate ``A ⊗ B`` is ever materialized, so memory stays
+    ``O(Σ factor nnz + block)`` while the product can be arbitrarily
+    deep.  With ``ground_truth=True`` every shard carries the
+    closed-form per-entry 4-cycle counts (multiplicative across
+    factors; chain docstring for the identities).
+
+    Defaults are the extreme-scale tier's: ``degree``-balanced
+    partitions in the binary ``edges`` format.  Fault tolerance,
+    manifests, and resume semantics match :func:`generate_shards`
+    exactly (same engine).
+    """
+    if not isinstance(chain, KroneckerChain):
+        chain = KroneckerChain.from_graphs(chain)
+    if shard_format not in SHARD_FORMATS:
+        raise ValueError(
+            f"unknown shard format {shard_format!r} (choose from {sorted(SHARD_FORMATS)})"
         )
-        sp.set(shards_written=len(tasks), shards_skipped=len(done))
-        if events.enabled:
-            events.emit(
-                "shards.finished", written=len(tasks), skipped=len(done)
-            )
-            events.flush()
-    return paths
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    plan = plan_partition(chain, n_shards, partition)
+    signature = chain_signature(chain, plan.n_shards, ground_truth, partition, shard_format)
+
+    def make_args(k: int, start: int, stop: int, path: str) -> tuple:
+        return (chain, k, start, stop, path, ground_truth, shard_format, codec)
+
+    return _run_generation(
+        _write_row_shard,
+        make_args,
+        plan,
+        out_dir,
+        signature,
+        n_workers=n_workers,
+        ground_truth=ground_truth,
+        shard_format=shard_format,
+        resume=resume,
+        retry=retry,
+        fault_injector=fault_injector,
+        span_attrs={
+            "partition": partition,
+            "shard_format": shard_format,
+            "factors": len(chain.factors),
+        },
+    )
 
 
 def load_shards(paths, manifest: Optional[Union[ShardManifest, PathLike]] = None) -> dict[str, np.ndarray]:
     """Concatenate shard files back into flat COO arrays.
 
+    Each file's container is identified by its leading magic bytes
+    (zip → ``.npz`` reader, ``repro.edges/1`` → binary block reader) --
+    never by extension, so a renamed shard loads correctly and a file
+    that is neither raises a typed
+    :class:`~repro.parallel.edgeio.EdgeFormatError` instead of a
+    misparse.
+
     With ``manifest`` (a :class:`ShardManifest` or a path to one / its
     directory), every shard's content checksum is verified before its
     data is trusted; a mismatch raises :class:`ShardIntegrityError`
-    naming the offending shard.
+    naming the offending shard.  Without a manifest, binary shards are
+    still verified against their embedded footer checksum.
     """
     entries_by_name: dict[str, ShardEntry] = {}
     if manifest is not None:
@@ -289,8 +539,7 @@ def load_shards(paths, manifest: Optional[Union[ShardManifest, PathLike]] = None
         entries_by_name = {e.path: e for e in manifest.shards.values()}
     arrays: dict[str, list[np.ndarray]] = {}
     for path in paths:
-        with np.load(path) as data:
-            shard = {key: data[key] for key in data.files}
+        shard = read_shard_arrays(path, verify=manifest is None)
         if manifest is not None:
             name = Path(path).name
             entry = entries_by_name.get(name)
@@ -311,6 +560,7 @@ def parallel_edge_count(
     n_shards: int = 4,
     n_workers: int | None = None,
     *,
+    partition: str = "entries",
     retry: Optional[RetryPolicy] = None,
     fault_injector: Optional[FaultInjector] = None,
 ) -> int:
@@ -318,18 +568,28 @@ def parallel_edge_count(
 
     A smoke-test-sized demonstration of the map-reduce shape: workers
     count their shards, the parent sums.  Must equal ``nnz(M)·nnz(B)``
-    (asserted in tests against the closed form).  Worker failures are
-    retried under the same policy machinery as :func:`generate_shards`.
+    (asserted in tests against the closed form) under every
+    ``partition`` strategy.  Worker failures are retried under the
+    same policy machinery as :func:`generate_shards`.
     """
-    slices = left_entry_slices(bk, n_shards)
+    plan = plan_partition(bk, n_shards, partition)
+    if partition == "entries":
+        source: Any = bk
+        worker: Callable = _count_shard
+    else:
+        source = KroneckerChain.from_bipartite(bk)
+        worker = _count_row_shard
     if n_workers is None:
-        n_workers = min(len(slices), os.cpu_count() or 1)
+        n_workers = min(plan.n_shards, os.cpu_count() or 1)
     with get_tracer().span(
-        "parallel.edge_count", n_shards=len(slices), n_workers=n_workers
+        "parallel.edge_count",
+        n_shards=plan.n_shards,
+        n_workers=n_workers,
+        partition=partition,
     ) as sp:
-        tasks = [(k, (bk, k, start, stop)) for k, (start, stop) in enumerate(slices)]
+        tasks = [(k, (source, k, start, stop)) for k, (start, stop) in enumerate(plan.bounds)]
         results = map_with_retry(
-            _count_shard,
+            worker,
             tasks,
             n_workers=n_workers,
             policy=retry,

@@ -15,7 +15,10 @@ Design points:
   container whose bytes embed timestamps; hashing the *arrays* (name,
   dtype, shape, raw bytes, in sorted key order) makes the checksum a
   pure function of the shard's data, so a resumed run and a clean
-  single-pass run agree bit-for-bit.
+  single-pass run agree bit-for-bit.  The same property makes the
+  checksum *container-independent*: a binary ``repro.edges/1`` shard
+  (:mod:`repro.parallel.edgeio`) of the same arrays carries the same
+  checksum, so manifests survive a format migration unchanged.
 * **Atomic writes.**  The manifest is written to a temp name and
   ``os.replace``d into place, exactly like the shards themselves; a
   crash mid-update leaves the previous valid manifest, never a torn
@@ -46,6 +49,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.kronecker.assumptions import BipartiteKronecker
+    from repro.kronecker.multifactor import KroneckerChain
 
 __all__ = [
     "MANIFEST_NAME",
@@ -57,6 +61,7 @@ __all__ = [
     "checksum_arrays",
     "shard_file_checksum",
     "product_signature",
+    "chain_signature",
     "load_manifest",
     "write_manifest",
     "validate_manifest",
@@ -100,15 +105,32 @@ def checksum_arrays(arrays: Mapping[str, np.ndarray]) -> str:
 
 
 def shard_file_checksum(path: PathLike) -> str:
-    """Load one ``.npz`` shard and recompute its content checksum."""
-    with np.load(path) as data:
-        return checksum_arrays({key: data[key] for key in data.files})
+    """Load one shard and recompute its content checksum.
+
+    Format-agnostic: the container is identified by its leading magic
+    bytes (``.npz`` zip vs binary ``repro.edges/1``), never by file
+    extension, so a renamed or mislabeled shard is read correctly or
+    rejected with a typed error rather than misparsed.
+    """
+    from repro.parallel.edgeio import read_shard_arrays
+
+    return checksum_arrays(read_shard_arrays(path, verify=False))
 
 
 def product_signature(
-    bk: "BipartiteKronecker", n_shards: int, ground_truth: bool
+    bk: "BipartiteKronecker",
+    n_shards: int,
+    ground_truth: bool,
+    partition: str = "entries",
+    shard_format: str = "npz",
 ) -> dict[str, Any]:
-    """Pin a manifest to one ``(product, sharding, payload)`` configuration."""
+    """Pin a manifest to one ``(product, sharding, payload)`` configuration.
+
+    ``partition`` and ``shard_format`` join the signature so a resumed
+    run refuses to mix shards planned or encoded differently -- a
+    ``degree``-partitioned run's slice bounds mean different entries
+    than an ``entries`` run's, even at equal shard counts.
+    """
     return {
         "n": int(bk.n),
         "m": int(bk.m),
@@ -117,6 +139,25 @@ def product_signature(
         "assumption": bk.assumption.name,
         "n_shards": int(n_shards),
         "ground_truth": bool(ground_truth),
+        "partition": str(partition),
+        "shard_format": str(shard_format),
+    }
+
+
+def chain_signature(
+    chain: "KroneckerChain",
+    n_shards: int,
+    ground_truth: bool,
+    partition: str,
+    shard_format: str,
+) -> dict[str, Any]:
+    """:func:`product_signature` analogue for deep multi-factor chains."""
+    return {
+        **chain.signature(),
+        "n_shards": int(n_shards),
+        "ground_truth": bool(ground_truth),
+        "partition": str(partition),
+        "shard_format": str(shard_format),
     }
 
 

@@ -13,7 +13,11 @@ Two sources of factor pairs, both deterministic given a seed:
 
 :func:`chain_cases` supplies multi-factor chains for the
 ``combine_stats`` fold, which the differ checks against brute force on
-the fully materialized chain product.
+the fully materialized chain product.  :func:`scale_chain_cases`
+supplies the extreme-scale tier's corpus (``repro verify --tier
+scale``): 3-4-factor chains small enough to brute-force whose
+*streamed, sharded* ground truth the differ cross-checks shard by
+shard.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ __all__ = [
     "random_cases",
     "adversarial_cases",
     "chain_cases",
+    "scale_chain_cases",
 ]
 
 
@@ -203,4 +208,26 @@ def chain_cases() -> List[tuple[str, List[Graph]]]:
          [complete_bipartite(2, 2).graph, path_graph(2), path_graph(2)]),
         ("chain/triangle-path2-path2",
          [complete_graph(3), path_graph(2), path_graph(2)]),
+    ]
+
+
+def scale_chain_cases() -> List[tuple[str, List[Graph]]]:
+    """Deep chains for the extreme-scale tier's streamed-shard referee.
+
+    3-4 loop-free factors each, products capped near 100 vertices so the
+    quadratic brute-force referee stays instant while the streamed path
+    still exercises multi-level recursion, boundary segments, and
+    degree-skewed partitions (stars and bicliques concentrate row work).
+    """
+    return [
+        ("scale/path3-star2-path2",
+         [path_graph(3), star_graph(2), path_graph(2)]),
+        ("scale/star3-biclique12-path2",
+         [star_graph(3), complete_bipartite(1, 2).graph, path_graph(2)]),
+        ("scale/triangle-path3-star2",
+         [complete_graph(3), path_graph(3), star_graph(2)]),
+        ("scale/star2-path2-path2-path2",
+         [star_graph(2), path_graph(2), path_graph(2), path_graph(2)]),
+        ("scale/wheel4-biclique22-path2",
+         [wheel_graph(4), complete_bipartite(2, 2).graph, path_graph(2)]),
     ]

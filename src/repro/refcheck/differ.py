@@ -62,6 +62,7 @@ from repro.refcheck.corpus import (
     adversarial_cases,
     chain_cases,
     random_cases,
+    scale_chain_cases,
 )
 from repro.refcheck.metamorphic import (
     MetamorphicViolation,
@@ -135,6 +136,7 @@ class VerifyReport:
     assumptions: List[str]
     perturbation: Optional[str]
     backend: str = "numpy"
+    tier: str = "standard"
     cases: int = 0
     checks: int = 0
     elapsed_seconds: float = 0.0
@@ -157,6 +159,7 @@ class VerifyReport:
             "assumptions": self.assumptions,
             "perturbation": self.perturbation,
             "backend": self.backend,
+            "tier": self.tier,
             "cases": self.cases,
             "checks": self.checks,
             "divergences": self.divergences,
@@ -175,7 +178,7 @@ class VerifyReport:
             f"verify {'PASS' if self.passed else 'FAIL'}: "
             f"{self.cases} cases, {self.checks} checks, "
             f"{self.divergences} divergences "
-            f"(seed={self.seed}, trials={self.trials}, "
+            f"(tier={self.tier}, seed={self.seed}, trials={self.trials}, "
             f"backend={self.backend}, "
             f"assumptions={'/'.join(self.assumptions)}"
             + (f", perturbation={self.perturbation}" if self.perturbation else "")
@@ -461,6 +464,70 @@ def _check_chain(label: str, factors: List[Graph], report: VerifyReport) -> None
                                brute.squares_at_edges(chain_graph, nbrs))
 
 
+def _check_scale_chain(label: str, factors: List[Graph], report: VerifyReport) -> None:
+    """Streamed, sharded deep-chain ground truth vs brute force.
+
+    The extreme-scale tier's referee: plan a degree-balanced partition
+    of the chain's product row space, stream every shard with attached
+    ground truth (deliberately small ``block_entries`` so multi-block
+    assembly is exercised), and cross-check
+
+    * each shard's per-entry 4-cycle counts against brute force on the
+      fully materialized chain product,
+    * each shard's closed-form vertex-square range sum against the
+      brute per-vertex sum over the same row range,
+    * the shard union's entry count against the product's nnz (complete
+      non-overlapping cover), and
+    * the closed-form global count against both brute force and the
+      independent ``combine_stats`` fold.
+    """
+    from repro.kronecker.multifactor import (
+        KroneckerChain,
+        multi_kronecker_global_squares,
+    )
+    from repro.parallel.partition import plan_partition, shard_of_rows
+
+    chain = KroneckerChain.from_graphs(factors)
+    product = factors[0].adj
+    for f in factors[1:]:
+        product = sp.kron(product, f.adj, format="csr")
+    chain_graph = Graph(sp.csr_array(product))
+    nbrs = brute.neighbor_sets(chain_graph)
+    brute_edges = brute.squares_at_edges(chain_graph, nbrs)
+    brute_vertices = brute.squares_at_vertices(chain_graph, nbrs)
+    checker = _CaseChecker(
+        VerifyCase(label, Assumption.NON_BIPARTITE_FACTOR, factors[0], factors[-1]),
+        report,
+    )
+    plan = plan_partition(chain, 4, "degree")
+    entries_seen = 0
+    squares_sum = 0
+    for start, stop in plan.bounds:
+        p, q, squares = shard_of_rows(
+            chain, start, stop, attach_ground_truth=True, block_entries=64
+        )
+        checker._check_edge_values(
+            f"scale_edge_squares[{start}:{stop}]", "streamed-shard",
+            list(zip(p.tolist(), q.tolist())), squares.tolist(), brute_edges,
+        )
+        checker._check_scalar(
+            f"scale_vertex_squares[{start}:{stop}]", "range-closed-form",
+            chain.vertex_squares_range_sum(start, stop),
+            int(brute_vertices[start:stop].sum()),
+        )
+        entries_seen += int(p.size)
+        squares_sum += int(squares.sum())
+    checker._check_scalar("scale_cover_entries", "degree-partition",
+                          entries_seen, int(chain_graph.nnz))
+    checker._check_scalar("scale_global_squares", "chain-closed-form",
+                          chain.global_squares(),
+                          brute.global_squares(chain_graph, nbrs))
+    checker._check_scalar("scale_squares_edge_sum", "streamed-shard",
+                          squares_sum,
+                          8 * multi_kronecker_global_squares(factors),
+                          reference="combine-stats")
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -475,6 +542,7 @@ def run_verification(
     include_chains: bool = True,
     perturb: Optional[str] = None,
     backend: Optional[str] = None,
+    tier: str = "standard",
 ) -> VerifyReport:
     """Run the full differential sweep and return the report.
 
@@ -487,6 +555,13 @@ def run_verification(
     ``verify.divergences_total`` land in ``--profile`` /
     ``--metrics-out`` output like any other workload.
 
+    ``tier="scale"`` runs the extreme-scale corpus instead: 3-4-factor
+    deep chains whose *streamed, degree-partitioned shard* ground truth
+    (:func:`~repro.parallel.partition.shard_of_rows`) is cross-checked
+    shard by shard against a brute-force referee on the materialized
+    chain product.  Same report shape, same exit-4 contract via
+    ``passed``.
+
     ``backend`` selects the kernel backend every fused implementation
     runs under (applied as a :func:`~repro.kronecker.backends.use_backend`
     scope, so the oracle, stream, and whole-product paths all inherit
@@ -497,6 +572,8 @@ def run_verification(
     """
     from repro.kronecker.backends import get_backend, use_backend
 
+    if tier not in ("standard", "scale"):
+        raise ValueError(f"unknown verification tier {tier!r} (standard or scale)")
     backend_name = get_backend(backend).name
     assumptions = resolve_assumptions(assumption)
     report = VerifyReport(
@@ -506,28 +583,36 @@ def run_verification(
         assumptions=[a.value for a in assumptions],
         perturbation=None if perturb in (None, "none") else perturb,
         backend=backend_name,
+        tier=tier,
     )
     tracer = get_tracer()
     metrics = get_metrics()
     cases_total = metrics.counter("verify.cases_total")
     t0 = time.perf_counter()
     with _perturbation(perturb), use_backend(backend_name):
-        batches = [("verify.random",
-                    random_cases(seed, trials, max_factor_size, assumptions))]
-        if include_adversarial:
-            batches.append(("verify.adversarial", adversarial_cases(assumptions)))
-        for span_name, cases in batches:
-            with tracer.span(span_name, cases=len(cases)):
-                for case in cases:
-                    _CaseChecker(case, report).run()
+        if tier == "scale":
+            with tracer.span("verify.scale"):
+                for label, factors in scale_chain_cases():
+                    _check_scale_chain(label, factors, report)
                     report.cases += 1
                     cases_total.inc()
-        if include_chains:
-            with tracer.span("verify.chains"):
-                for label, factors in chain_cases():
-                    _check_chain(label, factors, report)
-                    report.cases += 1
-                    cases_total.inc()
+        else:
+            batches = [("verify.random",
+                        random_cases(seed, trials, max_factor_size, assumptions))]
+            if include_adversarial:
+                batches.append(("verify.adversarial", adversarial_cases(assumptions)))
+            for span_name, cases in batches:
+                with tracer.span(span_name, cases=len(cases)):
+                    for case in cases:
+                        _CaseChecker(case, report).run()
+                        report.cases += 1
+                        cases_total.inc()
+            if include_chains:
+                with tracer.span("verify.chains"):
+                    for label, factors in chain_cases():
+                        _check_chain(label, factors, report)
+                        report.cases += 1
+                        cases_total.inc()
     report.elapsed_seconds = time.perf_counter() - t0
     metrics.counter("verify.checks_total").inc(report.checks)
     metrics.counter("verify.divergences_total").inc(report.divergences)

@@ -1,0 +1,195 @@
+"""The repro.edges/1 binary shard container: roundtrips, sniffing,
+typed failure modes, and manifest-checksum compatibility.
+
+Satellite regression: shard readers must trust *magic bytes*, never
+file extensions -- a renamed ``.npz`` handed to the loader used to be
+misparsed; now it loads correctly via sniffing, and a file that is
+neither container raises a typed :class:`EdgeFormatError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.edgeio import (
+    CODECS,
+    EDGES_SCHEMA,
+    EdgeFormatError,
+    EdgeIntegrityError,
+    read_edges_file,
+    read_shard_arrays,
+    sniff_shard_format,
+    write_edges_file,
+)
+from repro.parallel.manifest import checksum_arrays
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+def sample_arrays(n: int = 1000) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(7)
+    return {
+        "p": rng.integers(0, 1 << 40, n),
+        "q": rng.integers(0, 1 << 40, n),
+        "squares": rng.integers(0, 1 << 20, n),
+    }
+
+
+@pytest.mark.parametrize("codec", ["raw", "deflate"])
+@pytest.mark.parametrize("block_entries", [1, 7, 16384, 10**6])
+def test_roundtrip_bit_identical(tmp_path, codec, block_entries):
+    """Property (b): bit-identical roundtrip at block sizes {1, 7,
+    16384, > |E|} under every locally available codec."""
+    arrays = sample_arrays()
+    path = tmp_path / "x.edges"
+    checksum = write_edges_file(path, arrays, block_entries=block_entries, codec=codec)
+    assert checksum == checksum_arrays(arrays)
+    back = read_edges_file(path)
+    assert sorted(back) == sorted(arrays)
+    for name in arrays:
+        assert back[name].dtype == np.int64
+        np.testing.assert_array_equal(back[name], arrays[name].astype(np.int64))
+
+
+@given(
+    n=st.integers(0, 300),
+    block_entries=st.integers(1, 400),
+    codec=st.sampled_from(["raw", "deflate"]),
+)
+@SETTINGS
+def test_roundtrip_property(tmp_path_factory, n, block_entries, codec):
+    rng = np.random.default_rng(n * 7919 + block_entries)
+    arrays = {
+        "p": rng.integers(-(1 << 62), 1 << 62, n),
+        "q": rng.integers(-(1 << 62), 1 << 62, n),
+    }
+    path = tmp_path_factory.mktemp("edges") / "x.edges"
+    checksum = write_edges_file(path, arrays, block_entries=block_entries, codec=codec)
+    back = read_edges_file(path)
+    for name in arrays:
+        np.testing.assert_array_equal(back[name], arrays[name])
+    assert checksum == checksum_arrays(back)
+
+
+def test_empty_arrays_roundtrip(tmp_path):
+    arrays = {"p": np.zeros(0, dtype=np.int64), "q": np.zeros(0, dtype=np.int64)}
+    path = tmp_path / "empty.edges"
+    write_edges_file(path, arrays)
+    back = read_edges_file(path)
+    assert back["p"].size == 0 and back["q"].size == 0
+
+
+def test_sniff_edges_and_npz(tmp_path):
+    edges = tmp_path / "a.edges"
+    write_edges_file(edges, sample_arrays(10))
+    npz = tmp_path / "b.npz"
+    np.savez(npz, p=np.arange(3), q=np.arange(3))
+    assert sniff_shard_format(edges) == "edges"
+    assert sniff_shard_format(npz) == "npz"
+
+
+def test_renamed_npz_loads_by_magic(tmp_path):
+    """The extension-trust fix: an .npz renamed to .edges still loads
+    as npz (and vice versa), because only the magic decides."""
+    arrays = {"p": np.arange(50, dtype=np.int64), "q": np.arange(50, dtype=np.int64)}
+    disguised = tmp_path / "shard_0000.edges"
+    with open(disguised, "wb") as fh:  # np.savez would append ".npz" to a name
+        np.savez(fh, **arrays)
+    back = read_shard_arrays(disguised)
+    np.testing.assert_array_equal(back["p"], arrays["p"])
+
+    disguised2 = tmp_path / "shard_0001.npz"
+    write_edges_file(disguised2, arrays)
+    back2 = read_shard_arrays(disguised2)
+    np.testing.assert_array_equal(back2["q"], arrays["q"])
+
+
+def test_unknown_magic_is_typed_error(tmp_path):
+    junk = tmp_path / "junk.edges"
+    junk.write_bytes(b"torn shard: fault injected mid-write")
+    with pytest.raises(EdgeFormatError, match="junk.edges"):
+        sniff_shard_format(junk)
+    with pytest.raises(EdgeFormatError):
+        read_shard_arrays(junk)
+
+
+def test_truncated_file_is_typed_error(tmp_path):
+    path = tmp_path / "torn.edges"
+    write_edges_file(path, sample_arrays(500))
+    data = path.read_bytes()
+    for cut in (4, 15, 20, len(data) // 2, len(data) - 3):
+        path.write_bytes(data[:cut])
+        with pytest.raises(EdgeFormatError):
+            read_edges_file(path)
+
+
+def test_flipped_payload_byte_is_integrity_error(tmp_path):
+    path = tmp_path / "bad.edges"
+    write_edges_file(path, sample_arrays(500))
+    data = bytearray(path.read_bytes())
+    # Flip a byte well inside the first block's payload (header is 16
+    # bytes + the names blob; payload starts shortly after).
+    data[200] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(EdgeIntegrityError):
+        read_edges_file(path, verify=True)
+
+
+def test_verify_false_skips_checksum(tmp_path):
+    path = tmp_path / "bad.edges"
+    arrays = {"p": np.arange(500, dtype=np.int64)}
+    write_edges_file(path, arrays, block_entries=500)
+    data = bytearray(path.read_bytes())
+    data[100] ^= 0xFF
+    path.write_bytes(bytes(data))
+    back = read_edges_file(path, verify=False)  # structurally valid, wrong data
+    assert back["p"].size == 500
+    assert not np.array_equal(back["p"], arrays["p"])
+
+
+def test_zstd_gated_or_roundtrips(tmp_path):
+    """zstd works when the optional dependency is present, and fails
+    with a typed, actionable error when it is not."""
+    arrays = sample_arrays(100)
+    path = tmp_path / "z.edges"
+    try:
+        import zstandard  # noqa: F401
+
+        have = True
+    except ImportError:
+        have = False
+    if have:
+        write_edges_file(path, arrays, codec="zstd")
+        back = read_edges_file(path)
+        np.testing.assert_array_equal(back["p"], arrays["p"])
+    else:
+        with pytest.raises(EdgeFormatError, match="zstandard"):
+            write_edges_file(path, arrays, codec="zstd")
+
+
+def test_bad_codec_and_bad_columns(tmp_path):
+    with pytest.raises(EdgeFormatError):
+        write_edges_file(tmp_path / "x.edges", {"p": np.arange(3)}, codec="nope")
+    with pytest.raises(EdgeFormatError):
+        write_edges_file(tmp_path / "y.edges", {"a,b": np.arange(3)})
+    with pytest.raises(EdgeFormatError):
+        write_edges_file(
+            tmp_path / "z.edges", {"p": np.zeros((2, 2), dtype=np.int64)}
+        )
+
+
+def test_checksum_container_independent(tmp_path):
+    """The same arrays carry the same content checksum in either
+    container -- what keeps manifests format-agnostic."""
+    arrays = sample_arrays(64)
+    edges_checksum = write_edges_file(tmp_path / "a.edges", arrays)
+    validated = {k: np.ascontiguousarray(v, dtype=np.int64) for k, v in arrays.items()}
+    assert edges_checksum == checksum_arrays(validated)
+
+
+def test_schema_constants():
+    assert EDGES_SCHEMA == "repro.edges/1"
+    assert set(CODECS) == {"raw", "deflate", "zstd"}

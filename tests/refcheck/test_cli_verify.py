@@ -72,6 +72,48 @@ class TestReportOut:
         assert {"case", "quantity", "implementation", "location", "factors"} <= set(w)
 
 
+class TestScaleTier:
+    """--tier scale: streamed deep-chain shards vs the brute referee."""
+
+    def test_scale_tier_passes_and_reports(self, tmp_path, capsys):
+        report = tmp_path / "scale.json"
+        rc = main(["verify", "--tier", "scale", "--report-out", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "tier=scale" in out
+        data = json.loads(report.read_text())
+        assert data["tier"] == "scale"
+        assert data["passed"] is True
+        assert data["cases"] >= 4
+
+    def test_scale_tier_span_recorded(self, tmp_path):
+        record_path = tmp_path / "run.json"
+        rc = main(["verify", "--tier", "scale", "--metrics-out", str(record_path)])
+        assert rc == 0
+        record = load_run_record(record_path)
+        assert "verify.scale" in set(_span_names(record["spans"]))
+
+    def test_scale_divergence_exits_four(self, monkeypatch, capsys):
+        """Corrupting the chain's closed-form global count must be
+        caught by the brute referee and surface as exit 4."""
+        from repro.kronecker.multifactor import KroneckerChain
+
+        true_global = KroneckerChain.global_squares
+
+        def corrupted(self):
+            return true_global(self) + 1
+
+        monkeypatch.setattr(KroneckerChain, "global_squares", corrupted)
+        rc = main(["verify", "--tier", "scale"])
+        assert rc == 4
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out and "scale_global_squares" in out
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--tier", "galactic"])
+
+
 class TestObservability:
     def test_metrics_out_has_verify_spans_and_counters(self, tmp_path):
         record_path = tmp_path / "run.json"

@@ -27,6 +27,8 @@ __all__ = [
     "connected_nonbipartite_graphs",
     "factor_pairs",
     "products",
+    "factor_chains",
+    "chain_partitions",
     "small_graph_corpus",
     "small_bipartite_corpus",
 ]
@@ -136,6 +138,30 @@ def products(
     """A validated :class:`BipartiteKronecker` drawn via :func:`factor_pairs`."""
     A, B = draw(factor_pairs(assumption, max_a=max_a, max_side=max_side))
     return make_bipartite_product(A, B, assumption, require_connected=require_connected)
+
+
+@st.composite
+def factor_chains(
+    draw, min_factors: int = 2, max_factors: int = 4, max_n: int = 4
+):
+    """A deep Kronecker chain's factor list: 2-4 small connected
+    loop-free graphs, so the product (``Π n_t`` vertices) stays small
+    enough to brute-force while still exercising multi-level streaming."""
+    k = draw(st.integers(min_factors, max_factors))
+    return [draw(connected_graphs(min_n=2, max_n=max_n)) for _ in range(k)]
+
+
+@st.composite
+def chain_partitions(draw, max_shards: int = 8):
+    """A ``(chain, plan)`` pair: a drawn deep chain plus a row-space
+    partition plan under a drawn strategy and shard count."""
+    from repro.kronecker.multifactor import KroneckerChain
+    from repro.parallel.partition import plan_partition
+
+    chain = KroneckerChain.from_graphs(draw(factor_chains()))
+    n_shards = draw(st.integers(1, max_shards))
+    strategy = draw(st.sampled_from(["rows", "degree"]))
+    return chain, plan_partition(chain, n_shards, strategy)
 
 
 def small_graph_corpus() -> list[Graph]:

@@ -116,3 +116,74 @@ class TestShardsCommand:
     def test_manifest_name_constant(self, tmp_path):
         main(_shards("-o", str(tmp_path), "--shards", "2"))
         assert (tmp_path / MANIFEST_NAME).exists()
+
+
+class TestScaleTierFlags:
+    """--partition / --format / --codec: the extreme-scale knobs."""
+
+    @pytest.mark.parametrize("partition", ["rows", "degree"])
+    def test_row_partitions_verify_and_match_entries(self, tmp_path, partition):
+        rc = main(
+            _shards(
+                "-o", str(tmp_path / partition), "--shards", "4",
+                "--partition", partition, "--ground-truth", "--verify",
+            )
+        )
+        assert rc == 0
+        main(_shards("-o", str(tmp_path / "entries"), "--shards", "4", "--ground-truth"))
+        a = load_shards(
+            sorted((tmp_path / partition).glob("shard_*.npz")), manifest=tmp_path / partition
+        )
+        b = load_shards(
+            sorted((tmp_path / "entries").glob("shard_*.npz")), manifest=tmp_path / "entries"
+        )
+        assert sorted(zip(a["p"], a["q"], a["squares"])) == sorted(
+            zip(b["p"], b["q"], b["squares"])
+        )
+
+    @pytest.mark.parametrize("codec", ["raw", "deflate"])
+    def test_edges_format_writes_binary_shards(self, tmp_path, codec, capsys):
+        rc = main(
+            _shards(
+                "-o", str(tmp_path), "--shards", "3", "--format", "edges",
+                "--codec", codec, "--partition", "degree", "--ground-truth", "--verify",
+            )
+        )
+        assert rc == 0
+        paths = sorted(tmp_path.glob("shard_*.edges"))
+        assert len(paths) == 3
+        assert not list(tmp_path.glob("shard_*.npz"))
+        data = load_shards(paths, manifest=tmp_path)
+        assert "squares" in data
+
+    def test_signature_refuses_config_mixing(self, tmp_path, capsys):
+        main(_shards("-o", str(tmp_path), "--shards", "3"))
+        rc = main(
+            _shards(
+                "-o", str(tmp_path), "--shards", "3",
+                "--partition", "degree", "--resume",
+            )
+        )
+        assert rc == 2
+        assert "signature mismatch" in capsys.readouterr().err
+
+    def test_crash_resume_under_edges_format(self, tmp_path, capsys):
+        crash = main(
+            _shards(
+                "-o", str(tmp_path), "--shards", "6", "--workers", "2",
+                "--format", "edges", "--partition", "degree",
+                "--fault-rate", "0.5", "--fault-seed", "7", "--retries", "0",
+            )
+        )
+        assert crash == 3
+        capsys.readouterr()
+        partial = load_manifest(tmp_path)
+        assert 0 < len(partial.shards) < 6
+        resume = main(
+            _shards(
+                "-o", str(tmp_path), "--shards", "6", "--workers", "2",
+                "--format", "edges", "--partition", "degree", "--resume", "--verify",
+            )
+        )
+        assert resume == 0
+        assert verify_shards(tmp_path).is_complete()
