@@ -28,6 +28,12 @@ the direct algorithms here (and both against brute force in tests):
 """
 
 from repro.analytics.bitruss import wing_decomposition, wing_number_max
+from repro.analytics.peel import (
+    WingPeelResult,
+    peel_chain,
+    peel_product,
+    peel_wing_numbers,
+)
 from repro.analytics.tip import tip_decomposition, tip_number_max
 from repro.analytics.butterflies import (
     edge_butterflies,
@@ -90,6 +96,10 @@ __all__ = [
     "product_projection",
     "wing_decomposition",
     "wing_number_max",
+    "WingPeelResult",
+    "peel_wing_numbers",
+    "peel_product",
+    "peel_chain",
     "tip_decomposition",
     "tip_number_max",
     "truss_decomposition",

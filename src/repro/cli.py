@@ -673,10 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     v.add_argument(
         "--tier",
-        choices=["standard", "scale"],
+        choices=["standard", "scale", "wings"],
         default="standard",
-        help="verification tier: the 2-factor formula corpus (default) or the "
-        "extreme-scale tier (streamed deep-chain shards vs a brute-force referee)",
+        help="verification tier: the 2-factor formula corpus (default), the "
+        "extreme-scale tier (streamed deep-chain shards vs a brute-force "
+        "referee), or the wings tier (Rem. 1 support bounds vs brute "
+        "set-intersection supports and batch-peeled wing numbers)",
     )
     v.add_argument("--seed", type=int, default=0, help="seed for the random factor corpus")
     v.add_argument(
@@ -703,7 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     v.add_argument(
         "--perturb",
-        choices=["none", "beta-sign"],
+        choices=["none", "beta-sign", "wing-support"],
         default="none",
         help="deliberately corrupt the fused formulas for the run "
         "(engine self-test: the corruption must be caught, exit 4)",

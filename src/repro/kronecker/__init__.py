@@ -125,6 +125,7 @@ from repro.kronecker.triangles import (
 )
 from repro.kronecker.wings import (
     certified_zero_wing_edges,
+    chain_wings_at_edges,
     max_wing_upper_bound,
     wing_upper_bounds,
 )
@@ -199,6 +200,7 @@ __all__ = [
     "design_product",
     "wing_upper_bounds",
     "certified_zero_wing_edges",
+    "chain_wings_at_edges",
     "max_wing_upper_bound",
     "triangle_free_vertex_mask",
     "triangle_free_edge_count",

@@ -142,6 +142,17 @@ class KernelBackend(Protocol):
         ``NaN`` where ``dia < 0`` (invalid sentinel) or a degree < 2."""
         ...
 
+    def wing_bounds_fuse(self, vals: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Rem. 1 wing upper bounds from fused supports: ``vals`` where
+        ``valid``, the ``-1`` invalid sentinel elsewhere.  May mutate
+        ``vals`` -- callers pass a freshly-fused buffer."""
+        ...
+
+    def max_wing_reduce(self, vals: np.ndarray, valid: np.ndarray) -> int:
+        """Max support over the valid slots (0 when none are valid):
+        the scalar Rem. 1 bound on the product's max wing number."""
+        ...
+
 
 # ---------------------------------------------------------------------------
 # numpy reference backend
@@ -318,6 +329,17 @@ class NumpyBackend:
         with np.errstate(divide="ignore", invalid="ignore"):
             out = np.where(valid, dia / denom, np.nan)
         return out
+
+    def wing_bounds_fuse(self, vals: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        # ``vals`` arrives zeroed on invalid slots (edge_squares_fuse),
+        # so the sentinel is a masked in-place write, not an np.where.
+        vals[~valid] = -1
+        return vals
+
+    def max_wing_reduce(self, vals: np.ndarray, valid: np.ndarray) -> int:
+        if not valid.any():
+            return 0
+        return int(vals[valid].max())
 
 
 def _vertex_terms_chunk(L, R, iv, kv, av, tv, t2):

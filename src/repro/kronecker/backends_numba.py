@@ -118,6 +118,24 @@ def _edge_fuse(alpha, beta_i, beta_j, valid_a, dia_b, found_b, d_k, d_l, vals, v
 
 
 @njit(cache=True, parallel=True)
+def _wing_bounds(vals, valid):
+    for t in prange(vals.size):
+        if not valid[t]:
+            vals[t] = -1
+
+
+@njit(cache=True, parallel=True)
+def _max_wing(vals, valid):
+    # Written as ``best = max(best, v)`` so numba recognises the
+    # parallel max reduction (a guarded assignment would race).
+    best = np.int64(0)
+    for t in prange(vals.size):
+        v = vals[t] if valid[t] else np.int64(0)
+        best = max(best, v)
+    return best
+
+
+@njit(cache=True, parallel=True)
 def _edge_clustering(dia, d_p, d_q, out):
     for t in prange(dia.size):
         if dia[t] >= 0 and d_p[t] >= 2 and d_q[t] >= 2:
@@ -195,3 +213,10 @@ class NumbaBackend:
         out = np.empty(dia.size, dtype=np.float64)
         _edge_clustering(dia, d_p, d_q, out)
         return out
+
+    def wing_bounds_fuse(self, vals: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        _wing_bounds(vals, valid)
+        return vals
+
+    def max_wing_reduce(self, vals: np.ndarray, valid: np.ndarray) -> int:
+        return int(_max_wing(vals, valid))

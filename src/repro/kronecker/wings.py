@@ -6,7 +6,9 @@ known the way triangle-free regions make trusses knowable.  The
 *positive* residue is still useful:
 
 * the exact **initial butterfly support** of every edge is free
-  (Thm. 5 / derived 1(ii)), and the wing number never exceeds it;
+  (Thm. 5 / derived 1(ii) for 2-factor products; the multiplicative
+  Def. 9 form ``Π W3 − Π d_row − Π d_col + 1`` for n-factor chains),
+  and the wing number never exceeds it;
 * a k-wing can only exist if at least one edge has support >= k, so
   ``max support`` upper-bounds the product's maximum wing number;
 * edges with support 0 have wing number exactly 0 -- the generator can
@@ -14,43 +16,205 @@ known the way triangle-free regions make trusses knowable.  The
 
 These bounds let a wing implementation be sanity-checked at scale
 (upper bounds violated => bug) even though the exact decomposition
-still requires the peel.
+still requires the peel (:mod:`repro.analytics.peel` on referee-sized
+products).
+
+Every function accepts either a 2-factor
+:class:`~repro.kronecker.assumptions.BipartiteKronecker` (materialized
+CSR answers, the original API) or an n-factor
+:class:`~repro.kronecker.multifactor.KroneckerChain`, where bounds
+stream block-by-block from factor-sized tables and point queries run
+through per-factor hash probes -- nothing product-sized is allocated.
 """
 
 from __future__ import annotations
+
+from typing import Iterator, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.kronecker.assumptions import BipartiteKronecker
+from repro.kronecker.backends import KernelBackend, get_backend
 from repro.kronecker.ground_truth import edge_squares_product
+from repro.kronecker.multifactor import KroneckerChain
 
-__all__ = ["wing_upper_bounds", "certified_zero_wing_edges", "max_wing_upper_bound"]
+__all__ = [
+    "wing_upper_bounds",
+    "certified_zero_wing_edges",
+    "max_wing_upper_bound",
+    "chain_wings_at_edges",
+]
+
+WingSource = Union[BipartiteKronecker, KroneckerChain]
 
 
-def wing_upper_bounds(bk: BipartiteKronecker) -> sp.csr_array:
+def _reject_stream_kwargs(lo, hi, block_entries) -> None:
+    if lo is not None or hi is not None or block_entries is not None:
+        raise TypeError(
+            "row-range streaming (lo/hi/block_entries) applies to "
+            "KroneckerChain sources only"
+        )
+
+
+def wing_upper_bounds(
+    source: WingSource,
+    lo: int | None = None,
+    hi: int | None = None,
+    block_entries: int | None = None,
+) -> sp.csr_array | Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Per-edge upper bounds on wing numbers: the exact ◇ supports.
 
-    Pattern equals the product adjacency; value at each edge is its
-    exact initial butterfly support, which dominates its wing number
-    (peeling only removes support).
+    For a :class:`BipartiteKronecker` this returns a CSR whose pattern
+    equals the product adjacency; the value at each edge is its exact
+    initial butterfly support, which dominates its wing number (peeling
+    only removes support).
+
+    For a :class:`KroneckerChain` it returns an iterator of
+    ``(rows, cols, bounds)`` int64 blocks streamed over product rows
+    ``[lo, hi)`` (default: the full row range) -- the same shard blocks
+    :meth:`KroneckerChain.stream_rows` emits, since the chain's
+    per-entry 4-cycle count *is* the Def. 9 butterfly support.
     """
-    return edge_squares_product(bk)
+    if isinstance(source, KroneckerChain):
+        return source.stream_rows(
+            0 if lo is None else lo,
+            source.n if hi is None else hi,
+            attach_ground_truth=True,
+            block_entries=block_entries,
+        )
+    _reject_stream_kwargs(lo, hi, block_entries)
+    return edge_squares_product(source)
 
 
-def certified_zero_wing_edges(bk: BipartiteKronecker) -> np.ndarray:
+def certified_zero_wing_edges(
+    source: WingSource,
+    lo: int | None = None,
+    hi: int | None = None,
+    block_entries: int | None = None,
+) -> np.ndarray:
     """Directed entries ``(p, q)`` whose wing number is certified 0.
 
     Exactly the edges with ◇ = 0: no butterfly ever contains them, so
-    no k-wing (k >= 1) can either.  Returned as an ``(m, 2)`` array of
-    directed stored entries.
+    no k-wing (k >= 1) can either.  Returned as an ``(m, 2)`` int64
+    array of directed stored entries; empty products (a factor without
+    edges) certify nothing and return shape ``(0, 2)``.
+
+    Chain sources stream rows ``[lo, hi)`` block-by-block and collect
+    only the zero-support entries, so memory is bounded by the block
+    size plus the certified set itself.
     """
-    dia = edge_squares_product(bk).tocoo()
+    if isinstance(source, KroneckerChain):
+        lo = 0 if lo is None else lo
+        hi = source.n if hi is None else hi
+        found = [np.zeros((0, 2), dtype=np.int64)]
+        for rows, cols, bounds in source.stream_rows(
+            lo, hi, attach_ground_truth=True, block_entries=block_entries
+        ):
+            zero = bounds == 0
+            if zero.any():
+                found.append(np.column_stack((rows[zero], cols[zero])))
+        return np.concatenate(found, axis=0)
+    _reject_stream_kwargs(lo, hi, block_entries)
+    dia = edge_squares_product(source).tocoo()
     zero = dia.data == 0
-    return np.column_stack((dia.row[zero], dia.col[zero])).astype(np.int64)
+    return np.column_stack((dia.row[zero], dia.col[zero])).reshape(-1, 2).astype(np.int64)
 
 
-def max_wing_upper_bound(bk: BipartiteKronecker) -> int:
-    """Upper bound on the product's maximum wing number: max ◇."""
-    dia = edge_squares_product(bk)
+def max_wing_upper_bound(source: WingSource) -> int:
+    """Upper bound on the product's maximum wing number: max ◇
+    (0 for edgeless products).  Chain sources stream the reduction."""
+    if isinstance(source, KroneckerChain):
+        best = 0
+        for _, _, bounds in source.stream_rows(0, source.n, attach_ground_truth=True):
+            if bounds.size:
+                best = max(best, int(bounds.max()))
+        return best
+    dia = edge_squares_product(source)
     return int(dia.data.max()) if dia.nnz else 0
+
+
+# ---------------------------------------------------------------------------
+# Batched chain point queries
+# ---------------------------------------------------------------------------
+
+
+def _chain_probe_tables(
+    chain: KroneckerChain, be: KernelBackend
+) -> list[tuple[np.ndarray, np.ndarray, int]]:
+    """Per-factor ``W3`` hash tables (``key = row·n + col``), memoized
+    on the chain per backend name (layouts differ between backends)."""
+    cache = getattr(chain, "_wing_probe_tables", None)
+    if cache is None:
+        cache = {}
+        chain._wing_probe_tables = cache  # type: ignore[attr-defined]
+    tables = cache.get(be.name)
+    if tables is None:
+        tables = []
+        for f in chain.factors:
+            rows = np.repeat(np.arange(f.n, dtype=np.int64), np.diff(f.indptr))
+            keys = rows * f.n + f.indices  # ascending: CSR with sorted indices
+            tables.append(be.build_edge_table(keys, f.w3))
+        cache[be.name] = tables
+    return tables
+
+
+def chain_wings_at_edges(
+    chain: KroneckerChain,
+    ps: np.ndarray,
+    qs: np.ndarray,
+    on_invalid: str = "raise",
+    backend: str | KernelBackend | None = None,
+) -> np.ndarray:
+    """Wing upper bounds at arbitrary product entry batches ``(p, q)``.
+
+    Evaluates the multiplicative Def. 9 support
+    ``Π_t W3_t(i_t, j_t) − Π_t d_t(i_t) − Π_t d_t(j_t) + 1`` through
+    the chain's mixed-radix digits with one hash probe per factor --
+    bit-identical to the streamed :func:`wing_upper_bounds` blocks and,
+    on 2-factor ``[M, B]`` chains, to the fused Thm. 5 kernels.
+
+    ``on_invalid`` matches the oracle contract: ``"raise"`` names the
+    first non-edge pair, ``"mask"`` reports ``-1`` there.
+    """
+    if on_invalid not in ("raise", "mask"):
+        raise ValueError(f"on_invalid must be 'raise' or 'mask', got {on_invalid!r}")
+    be = get_backend(backend)
+    ps = np.atleast_1d(np.asarray(ps, dtype=np.int64))
+    qs = np.atleast_1d(np.asarray(qs, dtype=np.int64))
+    if ps.shape != qs.shape:
+        raise ValueError(f"ps and qs must align: {ps.shape} vs {qs.shape}")
+    for name, arr in (("p", ps), ("q", qs)):
+        if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= chain.n):
+            raise IndexError(
+                f"{name} indices out of range for chain product of size {chain.n}"
+            )
+    tables = _chain_probe_tables(chain, be)
+    valid = np.ones(ps.shape, dtype=bool)
+    w3 = np.ones(ps.shape, dtype=np.int64)
+    drow = np.ones(ps.shape, dtype=np.int64)
+    dcol = np.ones(ps.shape, dtype=np.int64)
+    rem_p, rem_q = ps, qs
+    for t in range(len(chain.factors) - 1, -1, -1):
+        f = chain.factors[t]
+        rem_p, i_t = np.divmod(rem_p, f.n)
+        rem_q, j_t = np.divmod(rem_q, f.n)
+        table_keys, table_vals, shift = tables[t]
+        found, w3_t = be.probe_edge_table(table_keys, table_vals, shift, i_t * f.n + j_t)
+        valid &= found
+        w3 *= w3_t
+        drow *= f.d[i_t]
+        dcol *= f.d[j_t]
+    vals = w3
+    vals -= drow
+    vals -= dcol
+    vals += 1
+    vals *= valid  # zero the invalid slots before the sentinel fuse
+    if on_invalid == "raise":
+        if not valid.all():
+            bad = int(np.flatnonzero(~valid)[0])
+            raise ValueError(
+                f"({int(ps[bad])}, {int(qs[bad])}) is not an edge of the chain product"
+            )
+        return vals
+    return be.wing_bounds_fuse(vals, valid)

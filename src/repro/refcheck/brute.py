@@ -42,6 +42,7 @@ __all__ = [
     "connected_components",
     "community_edge_counts",
     "clustering_at_edges",
+    "wing_peel",
 ]
 
 
@@ -156,6 +157,63 @@ def clustering_at_edges(
         if deg[u] >= 2 and deg[v] >= 2:
             out[(u, v)] = dia / ((int(deg[u]) - 1) * (int(deg[v]) - 1))
     return out
+
+
+def _edge_support(live: List[set], u: int, v: int) -> int:
+    """4-cycles through the *remaining* edge ``(u, v)``, by the same
+    literal ``x``/``y`` set-intersection walk as :func:`squares_at_edges`
+    but over a mutable adjacency (used mid-peel)."""
+    c = 0
+    for x in live[v]:
+        if x == u:
+            continue
+        for y in live[u]:
+            if y == v or y == x:
+                continue
+            if y in live[x]:
+                c += 1
+    return c
+
+
+def wing_peel(
+    graph: Graph, nbrs: Optional[List[set]] = None
+) -> Dict[Tuple[int, int], int]:
+    """Exact wing (bitruss) numbers by batch peeling, keyed ``(u, v)``,
+    ``u <= v``.
+
+    The wing number of an edge is the largest ``k`` such that the edge
+    lies in a subgraph where *every* edge sits on at least ``k``
+    4-cycles.  This referee peels by brute force: at level ``k`` it
+    recomputes every remaining edge's support *from scratch* (literal
+    set intersection, nothing incremental), deletes the batch with
+    support ``<= k``, assigns them wing number ``k``, and repeats until
+    the level is dry before raising ``k`` to the new minimum support.
+    Deleting an edge only ever lowers other supports, so the batch
+    order is immaterial — edges dragged under ``k`` by a deletion are
+    caught on the next sweep of the same level.
+
+    Deliberately shares no machinery with the production peeling engine
+    (lazy heap + per-cycle decrements): a bookkeeping bug there cannot
+    hide here.
+    """
+    _require_loop_free(graph)
+    if nbrs is None:
+        nbrs = neighbor_sets(graph)
+    live = [set(s) for s in nbrs]
+    u_arr, v_arr = graph.edge_arrays()
+    edges = {(min(u, v), max(u, v)) for u, v in zip(u_arr.tolist(), v_arr.tolist())}
+    wing: Dict[Tuple[int, int], int] = {}
+    k = 0
+    while edges:
+        supports = {(u, v): _edge_support(live, u, v) for u, v in edges}
+        k = max(k, min(supports.values()))
+        doomed = [e for e, s in supports.items() if s <= k]
+        for u, v in doomed:
+            wing[(u, v)] = k
+            edges.discard((u, v))
+            live[u].discard(v)
+            live[v].discard(u)
+    return wing
 
 
 # ---------------------------------------------------------------------------

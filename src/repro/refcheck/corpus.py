@@ -17,7 +17,9 @@ the fully materialized chain product.  :func:`scale_chain_cases`
 supplies the extreme-scale tier's corpus (``repro verify --tier
 scale``): 3-4-factor chains small enough to brute-force whose
 *streamed, sharded* ground truth the differ cross-checks shard by
-shard.
+shard.  :func:`wing_product_cases` / :func:`wing_chain_cases` supply
+the wings tier (``--tier wings``): shapes whose peeled wing numbers
+stress the Rem. 1 support bounds from both sides.
 """
 
 from __future__ import annotations
@@ -45,6 +47,8 @@ __all__ = [
     "adversarial_cases",
     "chain_cases",
     "scale_chain_cases",
+    "wing_product_cases",
+    "wing_chain_cases",
 ]
 
 
@@ -208,6 +212,46 @@ def chain_cases() -> List[tuple[str, List[Graph]]]:
          [complete_bipartite(2, 2).graph, path_graph(2), path_graph(2)]),
         ("chain/triangle-path2-path2",
          [complete_graph(3), path_graph(2), path_graph(2)]),
+    ]
+
+
+def wing_product_cases() -> List[VerifyCase]:
+    """Factor pairs for the wings tier (``repro verify --tier wings``).
+
+    Shapes chosen for their wing spectra: stars peel everything to wing
+    0 (no 4-cycle survives a degree-1 fringe), bicliques maximize both
+    the support and the gap the peel has to close, and the mixed cases
+    put certified-zero edges and dense wings in the same product.  Kept
+    tiny — the brute referee recomputes every support from scratch each
+    peeling round.
+    """
+    a_i = Assumption.NON_BIPARTITE_FACTOR
+    a_ii = Assumption.SELF_LOOPS_FACTOR
+    return [
+        VerifyCase("wings/stars", a_ii, star_graph(3), star_graph(4)),
+        VerifyCase("wings/bicliques", a_ii, complete_bipartite(2, 2).graph,
+                   complete_bipartite(2, 3).graph),
+        VerifyCase("wings/star-x-biclique", a_ii, star_graph(4),
+                   complete_bipartite(2, 2).graph),
+        VerifyCase("wings/path-x-biclique", a_ii, path_graph(4),
+                   complete_bipartite(2, 2).graph),
+        VerifyCase("wings/single-edge", a_ii, path_graph(2), path_graph(2)),
+        VerifyCase("wings/isolated-vertex", a_ii,
+                   Graph.from_edges(3, [(0, 1)]), path_graph(3)),
+        VerifyCase("wings/triangle-x-biclique", a_i, complete_graph(3),
+                   complete_bipartite(2, 2).graph),
+    ]
+
+
+def wing_chain_cases() -> List[tuple[str, List[Graph]]]:
+    """3-factor chains for the wings tier's streamed / digit-probe legs."""
+    return [
+        ("wings/chain-path3-biclique12-path2",
+         [path_graph(3), complete_bipartite(1, 2).graph, path_graph(2)]),
+        ("wings/chain-star3-path2-path2",
+         [star_graph(3), path_graph(2), path_graph(2)]),
+        ("wings/chain-biclique22-star2-path2",
+         [complete_bipartite(2, 2).graph, star_graph(2), path_graph(2)]),
     ]
 
 

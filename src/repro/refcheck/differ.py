@@ -55,6 +55,13 @@ from repro.kronecker.ground_truth import (
 from repro.kronecker.multifactor import multi_kronecker_stats
 from repro.kronecker.oracle import GroundTruthOracle
 from repro.kronecker.streaming import stream_edges, streamed_connectivity_audit
+from repro.kronecker.wings import (
+    certified_zero_wing_edges,
+    chain_wings_at_edges,
+    max_wing_upper_bound,
+    wing_upper_bounds,
+)
+from repro.analytics.peel import peel_wing_numbers
 from repro.obs import get_metrics, get_tracer
 from repro.refcheck import brute
 from repro.refcheck.corpus import (
@@ -63,6 +70,8 @@ from repro.refcheck.corpus import (
     chain_cases,
     random_cases,
     scale_chain_cases,
+    wing_chain_cases,
+    wing_product_cases,
 )
 from repro.refcheck.metamorphic import (
     MetamorphicViolation,
@@ -81,7 +90,7 @@ __all__ = [
 REPORT_SCHEMA = "repro.refcheck/1"
 
 #: Supported deliberate formula perturbations (engine self-tests).
-PERTURBATIONS = ("beta-sign",)
+PERTURBATIONS = ("beta-sign", "wing-support")
 
 
 @dataclass(frozen=True)
@@ -217,12 +226,33 @@ def _perturbation(kind: Optional[str]):
     shards) inherits the bug while the legacy ``sp.kron`` path and the
     brute-force referee stay honest — exactly the single-derivation
     failure mode the differ exists to catch.
+
+    ``"wing-support"`` inflates every fused batched support by one
+    (``◇ + valid``), the off-by-one Rem. 1 is most sensitive to: the
+    oracle's wing bounds drift away from the brute set-intersection
+    supports and certified-zero edges stop being certified, so the
+    wings tier must report divergences (the exit-4 drill in CI).
     """
     if kind in (None, "none"):
         yield
         return
     if kind not in PERTURBATIONS:
         raise ValueError(f"unknown perturbation {kind!r}; choose from {PERTURBATIONS}")
+    if kind == "wing-support":
+        original_batch = kernels.edge_squares_batch
+
+        def support_off_by_one(stats_a, stats_b, assumption, i, j, k, ell, backend=None):
+            values, valid = original_batch(
+                stats_a, stats_b, assumption, i, j, k, ell, backend=backend
+            )
+            return values + valid.astype(values.dtype), valid
+
+        kernels.edge_squares_batch = support_off_by_one
+        try:
+            yield
+        finally:
+            kernels.edge_squares_batch = original_batch
+        return
     original = kernels.edge_coefficients
 
     def beta_sign_flipped(stats_a, assumption, i, j, backend=None):
@@ -528,6 +558,146 @@ def _check_scale_chain(label: str, factors: List[Graph], report: VerifyReport) -
                           reference="combine-stats")
 
 
+def _first_wing_divergence(checker, quantity, implementation, actual, expected):
+    """Compare two ``(u, v) -> wing`` dicts; witness the first mismatch."""
+    checker.report.checks += 1
+    if actual == expected:
+        return
+    for key in sorted(set(actual) | set(expected)):
+        a, b = actual.get(key), expected.get(key)
+        if a != b:
+            checker._witness(quantity, implementation, "brute-peel",
+                             {"kind": "edge", "p": key[0], "q": key[1]},
+                             b if b is not None else "absent",
+                             a if a is not None else "absent")
+            return
+
+
+def _check_wing_invariants(checker, pairs, bounds, wing_ref, implementation):
+    """Rem. 1 on formula output: peel never exceeds the ◇ bound, and a
+    0 bound certifies wing exactly 0."""
+    checker.report.checks += 1
+    for (p, q), b in zip(pairs, bounds):
+        w = wing_ref[(min(p, q), max(p, q))]
+        if w > b or (b == 0 and w != 0):
+            checker._witness("wing_bound", implementation, "brute-peel",
+                             {"kind": "edge", "p": int(p), "q": int(q)},
+                             f"peel {w} <= bound, 0-bound exact", int(b))
+            return
+
+
+def _check_wings_product(case: VerifyCase, report: VerifyReport) -> None:
+    """Wings tier, factor-pair leg: Rem. 1 support bounds vs brute peel.
+
+    Materializes the product, recomputes edge supports by literal set
+    intersection and wing numbers by brute batch peeling, then
+    cross-checks every formula-side wings surface: the batched oracle
+    (`wings_at_edges`, the ``/v1/wings`` answer path), the fused
+    whole-product CSR, the certified-zero edge list (Rem. 1 equality),
+    the max-bound reduction, and the production lazy-heap peeling
+    engine.
+    """
+    bk = make_bipartite_product(case.A, case.B, case.assumption,
+                                require_connected=False)
+    C = bk.materialize()
+    nbrs = brute.neighbor_sets(C)
+    support_ref = brute.squares_at_edges(C, nbrs)
+    wing_ref = brute.wing_peel(C, nbrs)
+    max_support = max(support_ref.values(), default=0)
+    checker = _CaseChecker(case, report)
+    oracle = GroundTruthOracle(bk)
+    u_arr, v_arr = C.edge_arrays()
+    if u_arr.size:
+        bounds = oracle.wings_at_edges(u_arr, v_arr)
+        pairs = list(zip(u_arr.tolist(), v_arr.tolist()))
+        checker._check_edge_values("wing_support", "oracle-batch",
+                                   pairs, bounds.tolist(), support_ref)
+        _check_wing_invariants(checker, pairs, bounds.tolist(), wing_ref,
+                               "oracle-batch")
+    coo = sp.csr_array(wing_upper_bounds(bk)).tocoo()
+    checker._check_edge_values("wing_support", "fused-csr",
+                               list(zip(coo.row.tolist(), coo.col.tolist())),
+                               coo.data.tolist(), support_ref)
+    checker.report.checks += 1
+    for p, q in certified_zero_wing_edges(bk).tolist():
+        key = (min(p, q), max(p, q))
+        if support_ref[key] != 0 or wing_ref[key] != 0:
+            checker._witness("wing_certified_zero", "rem1-certificate",
+                             "brute-peel",
+                             {"kind": "edge", "p": int(p), "q": int(q)},
+                             0, int(wing_ref[key] or support_ref[key]))
+            break
+    checker._check_scalar("max_wing_support", "oracle-reduce",
+                          oracle.max_wing_bound(), max_support)
+    checker._check_scalar("max_wing_support", "fused-max",
+                          max_wing_upper_bound(bk), max_support)
+    checker.report.checks += 1
+    max_wing = max(wing_ref.values(), default=0)
+    if max_wing > oracle.max_wing_bound():
+        checker._witness("max_wing_bound", "oracle-reduce", "brute-peel",
+                         {"kind": "global"}, f">= {max_wing}",
+                         oracle.max_wing_bound())
+    _first_wing_divergence(checker, "wing_number", "peel-engine",
+                           peel_wing_numbers(C.adj).wing, wing_ref)
+
+
+def _check_wings_chain(label: str, factors: List[Graph], report: VerifyReport) -> None:
+    """Wings tier, chain leg: streamed and digit-probe supports vs brute.
+
+    Same referee as :func:`_check_wings_product` but over an n-factor
+    :class:`KroneckerChain`: the block-streamed bounds (deliberately
+    tiny ``block_entries``), the mixed-radix digit-probe batch path,
+    the streamed certified-zero and max reductions, and the peeling
+    engine on the materialized chain product.
+    """
+    from repro.kronecker.multifactor import KroneckerChain
+
+    chain = KroneckerChain.from_graphs(factors)
+    product = factors[0].adj
+    for f in factors[1:]:
+        product = sp.kron(product, f.adj, format="csr")
+    chain_graph = Graph(sp.csr_array(product))
+    nbrs = brute.neighbor_sets(chain_graph)
+    support_ref = brute.squares_at_edges(chain_graph, nbrs)
+    wing_ref = brute.wing_peel(chain_graph, nbrs)
+    max_support = max(support_ref.values(), default=0)
+    checker = _CaseChecker(
+        VerifyCase(label, Assumption.NON_BIPARTITE_FACTOR, factors[0], factors[-1]),
+        report,
+    )
+    streamed_pairs: List[Tuple[int, int]] = []
+    streamed_vals: List[int] = []
+    for p, q, b in wing_upper_bounds(chain, block_entries=64):
+        streamed_pairs.extend(zip(p.tolist(), q.tolist()))
+        streamed_vals.extend(np.asarray(b).tolist())
+    checker._check_edge_values("wing_support", "streamed-chain",
+                               streamed_pairs, streamed_vals, support_ref)
+    checker._check_scalar("wing_entry_cover", "streamed-chain",
+                          len(streamed_pairs), int(chain_graph.nnz),
+                          reference="materialized-adjacency")
+    _check_wing_invariants(checker, streamed_pairs, streamed_vals, wing_ref,
+                           "streamed-chain")
+    u_arr, v_arr = chain_graph.edge_arrays()
+    if u_arr.size:
+        vals = chain_wings_at_edges(chain, u_arr, v_arr)
+        checker._check_edge_values("wing_support", "chain-digit-probe",
+                                   list(zip(u_arr.tolist(), v_arr.tolist())),
+                                   vals.tolist(), support_ref)
+    checker.report.checks += 1
+    for p, q in certified_zero_wing_edges(chain).tolist():
+        key = (min(p, q), max(p, q))
+        if support_ref[key] != 0 or wing_ref[key] != 0:
+            checker._witness("wing_certified_zero", "rem1-certificate",
+                             "brute-peel",
+                             {"kind": "edge", "p": int(p), "q": int(q)},
+                             0, int(wing_ref[key] or support_ref[key]))
+            break
+    checker._check_scalar("max_wing_support", "streamed-max",
+                          max_wing_upper_bound(chain), max_support)
+    _first_wing_divergence(checker, "wing_number", "peel-engine",
+                           peel_wing_numbers(chain_graph.adj).wing, wing_ref)
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -562,6 +732,13 @@ def run_verification(
     chain product.  Same report shape, same exit-4 contract via
     ``passed``.
 
+    ``tier="wings"`` runs the wings corpus: factor pairs and 3-factor
+    chains whose Rem. 1 support bounds (oracle batch, fused CSR,
+    streamed chain blocks, digit-probe batch) are checked against the
+    brute set-intersection supports, and whose exact wing numbers —
+    brute batch peel vs the production lazy-heap engine — must respect
+    the bounds everywhere with equality on certified-zero edges.
+
     ``backend`` selects the kernel backend every fused implementation
     runs under (applied as a :func:`~repro.kronecker.backends.use_backend`
     scope, so the oracle, stream, and whole-product paths all inherit
@@ -572,8 +749,10 @@ def run_verification(
     """
     from repro.kronecker.backends import get_backend, use_backend
 
-    if tier not in ("standard", "scale"):
-        raise ValueError(f"unknown verification tier {tier!r} (standard or scale)")
+    if tier not in ("standard", "scale", "wings"):
+        raise ValueError(
+            f"unknown verification tier {tier!r} (standard, scale or wings)"
+        )
     backend_name = get_backend(backend).name
     assumptions = resolve_assumptions(assumption)
     report = VerifyReport(
@@ -594,6 +773,16 @@ def run_verification(
             with tracer.span("verify.scale"):
                 for label, factors in scale_chain_cases():
                     _check_scale_chain(label, factors, report)
+                    report.cases += 1
+                    cases_total.inc()
+        elif tier == "wings":
+            with tracer.span("verify.wings"):
+                for case in wing_product_cases():
+                    _check_wings_product(case, report)
+                    report.cases += 1
+                    cases_total.inc()
+                for label, factors in wing_chain_cases():
+                    _check_wings_chain(label, factors, report)
                     report.cases += 1
                     cases_total.inc()
         else:

@@ -9,6 +9,7 @@ endpoint                     method  body / response
 ``/v1/degree``               POST    ``{"ps": [..]}`` → ``{"degrees": [..]}``
 ``/v1/squares/vertex``       POST    ``{"ps": [..]}`` → ``{"squares": [..]}``
 ``/v1/squares/edge``         POST    ``{"ps": [..], "qs": [..]}`` → ``{"squares": [..]}``
+``/v1/wings``                POST    ``{"ps": [..], "qs": [..]}`` → ``{"wings": [..]}``
 ``/v1/clustering``           POST    ``{"ps": [..], "qs": [..]}`` → ``{"clustering": [..]}``
 ``/v1/global``               GET     ``{"squares": N}``
 ``/healthz``                 GET     liveness + artifact summary
@@ -231,6 +232,14 @@ class _OracleHandler(BaseHTTPRequestHandler):
             if invalid.size:
                 raise _HTTPError(422, self._invalid_payload(ps, qs, invalid))
             return 200, {"squares": values.tolist()}
+        if path == "/v1/wings":
+            self._require_method(method, "POST")
+            ps, qs = self._read_indices(keys=("ps", "qs"))
+            values = service.wings_at_edges(ps, qs)
+            invalid = np.flatnonzero(values == INVALID_SQUARES)
+            if invalid.size:
+                raise _HTTPError(422, self._invalid_payload(ps, qs, invalid))
+            return 200, {"wings": values.tolist()}
         if path == "/v1/clustering":
             self._require_method(method, "POST")
             ps, qs = self._read_indices(keys=("ps", "qs"))

@@ -43,8 +43,8 @@ __all__ = ["INVALID_SQUARES", "Overloaded", "OracleService"]
 #: Sentinel for non-edge slots in integer answers (counts are never negative).
 INVALID_SQUARES = -1
 
-_KINDS = ("degree", "vertex_squares", "edge_squares", "clustering", "global")
-_PAIR_KINDS = ("edge_squares", "clustering")
+_KINDS = ("degree", "vertex_squares", "edge_squares", "clustering", "global", "wings")
+_PAIR_KINDS = ("edge_squares", "clustering", "wings")
 
 
 class Overloaded(RuntimeError):
@@ -388,6 +388,10 @@ class OracleService:
             dia = self.oracle.squares_at_edges(ps, qs, on_invalid="mask")
             self._counts["invalid"] += int((dia == INVALID_SQUARES).sum())
             return dia
+        if kind == "wings":
+            bounds = self.oracle.wings_at_edges(ps, qs, on_invalid="mask")
+            self._counts["invalid"] += int((bounds == INVALID_SQUARES).sum())
+            return bounds
         # clustering -- NaN masking delegated to the oracle/backend
         out = self.oracle.clustering_at_edges(ps, qs)
         self._counts["invalid"] += int(np.isnan(out).sum())
@@ -433,6 +437,10 @@ class OracleService:
     def squares_at_edges(self, ps: Any, qs: Any, timeout: Optional[float] = 30.0) -> np.ndarray:
         """Batched Thm. 5 edge 4-cycle counts; ``-1`` marks non-edges."""
         return self.submit("edge_squares", ps, qs).wait(timeout)
+
+    def wings_at_edges(self, ps: Any, qs: Any, timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Batched Rem. 1 wing upper bounds; ``-1`` marks non-edges."""
+        return self.submit("wings", ps, qs).wait(timeout)
 
     def clustering_at_edges(self, ps: Any, qs: Any, timeout: Optional[float] = 30.0) -> np.ndarray:
         """Batched Def. 10 clustering; ``NaN`` marks out-of-domain pairs."""

@@ -29,8 +29,9 @@ first byte of a wire frame can never collide with an HTTP method
 peeking a single byte.
 
 Masking semantics are the oracle's, passed through raw: ``edge_squares``
-answers carry ``-1`` (:data:`~repro.serve.service.INVALID_SQUARES`) at
-non-edge slots and ``clustering`` carries ``NaN`` out of domain --
+and ``wings`` answers carry ``-1``
+(:data:`~repro.serve.service.INVALID_SQUARES`) at non-edge slots and
+``clustering`` carries ``NaN`` out of domain --
 status stays ``OK`` because the *frame* was well-formed.  Malformed
 frames (bad kind, bad index dtype, out-of-range vertices) answer
 ``STATUS_BAD_REQUEST`` with a message; queue saturation answers
@@ -83,8 +84,10 @@ MAGIC = b"\x9fW"
 _HEADER = struct.Struct("<2sBBB3xII")
 HEADER_SIZE = _HEADER.size  # 16 bytes, both directions
 
-#: Query kind codes (request header byte 3).
-KINDS = ("degree", "vertex_squares", "edge_squares", "clustering", "global")
+#: Query kind codes (request header byte 3).  Codes are positional and
+#: append-only: ``wings`` landed at code 5 after ``global`` so every
+#: earlier code keeps its meaning across versions.
+KINDS = ("degree", "vertex_squares", "edge_squares", "clustering", "global", "wings")
 _KIND_CODE = {name: code for code, name in enumerate(KINDS)}
 
 #: Response status codes (response header byte 3).
@@ -112,7 +115,7 @@ _CODE_FOR_KIND = {"clustering": 1}  # every other kind answers int64
 #: header demanding a multi-GiB allocation.
 MAX_FRAME_ELEMENTS = 1 << 24
 
-_PAIR_KINDS = frozenset({"edge_squares", "clustering"})
+_PAIR_KINDS = frozenset({"edge_squares", "clustering", "wings"})
 
 
 class WireError(Exception):
@@ -358,6 +361,10 @@ class WireClient:
     def squares_at_edges(self, ps: Any, qs: Any) -> np.ndarray:
         """Batched edge squares; ``-1`` marks non-edges (mask semantics)."""
         return self.request("edge_squares", ps, qs)
+
+    def wings_at_edges(self, ps: Any, qs: Any) -> np.ndarray:
+        """Batched Rem. 1 wing upper bounds; ``-1`` marks non-edges."""
+        return self.request("wings", ps, qs)
 
     def clustering_at_edges(self, ps: Any, qs: Any) -> np.ndarray:
         """Batched clustering; ``NaN`` marks out-of-domain pairs."""

@@ -83,7 +83,7 @@ class TestPerturbationDrill:
     def test_unknown_perturbation_rejected(self):
         with pytest.raises(ValueError, match="unknown perturbation"):
             run_verification(seed=0, trials=1, perturb="gamma-flip")
-        assert PERTURBATIONS == ("beta-sign",)
+        assert PERTURBATIONS == ("beta-sign", "wing-support")
 
 
 class TestWitnessReproduction:

@@ -1,0 +1,106 @@
+"""The ``wings`` verification tier: clean pass, the wing-support
+perturbation drill, and the batch referee peel itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import peel_wing_numbers
+from repro.cli import main
+from repro.generators.classic import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.refcheck import brute, run_verification
+from repro.refcheck.corpus import wing_chain_cases, wing_product_cases
+
+
+class TestBruteWingPeel:
+    """The referee must agree with the production lazy-heap peel on
+    shapes where hand-checking is possible — it is what the tier trusts."""
+
+    @pytest.mark.parametrize(
+        "g",
+        [
+            path_graph(5),
+            cycle_graph(4),
+            cycle_graph(6),
+            star_graph(4),
+            complete_graph(4),
+            complete_bipartite(3, 3).graph,
+            Graph.from_edges(6, [(0, 1), (2, 3), (4, 5)]),
+            Graph.empty(3),
+        ],
+        ids=lambda g: f"n{g.n}m{g.edge_arrays()[0].size}",
+    )
+    def test_batch_peel_matches_lazy_heap(self, g):
+        assert brute.wing_peel(g) == peel_wing_numbers(g.adj).wing
+
+    def test_c4_peels_to_one(self):
+        # The 4-cycle itself: every edge lies on exactly one 4-cycle.
+        assert set(brute.wing_peel(cycle_graph(4)).values()) == {1}
+
+    def test_square_free_peels_to_zero(self):
+        assert set(brute.wing_peel(cycle_graph(6)).values()) == {0}
+
+
+class TestWingsTier:
+    def test_clean_run_passes(self):
+        report = run_verification(tier="wings")
+        assert report.passed
+        assert report.divergences == 0
+        assert report.cases == len(wing_product_cases()) + len(wing_chain_cases())
+        assert report.checks > report.cases
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="tier"):
+            run_verification(tier="nope")
+
+    def test_wing_support_perturbation_is_caught(self):
+        report = run_verification(tier="wings", perturb="wing-support")
+        assert not report.passed
+        assert report.divergences > 0
+        quantities = {w.quantity for w in report.witnesses}
+        assert "wing_support" in quantities
+        # Witnesses must carry enough to reproduce the case.
+        w = report.witnesses[0]
+        assert w.factors and w.assumption
+
+    def test_perturbation_does_not_leak(self):
+        # The monkeypatch is scoped to the perturbed run: a clean run
+        # afterwards must still pass.
+        assert not run_verification(tier="wings", perturb="wing-support").passed
+        assert run_verification(tier="wings").passed
+
+
+class TestCliVerifyWings:
+    def test_exit_zero_clean(self, capsys):
+        assert main(["verify", "--tier", "wings"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_exit_four_under_perturbation(self, tmp_path, capsys):
+        report_path = tmp_path / "wings.json"
+        rc = main(
+            [
+                "verify",
+                "--tier",
+                "wings",
+                "--perturb",
+                "wing-support",
+                "--report-out",
+                str(report_path),
+            ]
+        )
+        assert rc == 4
+        assert report_path.exists()
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["tier"] == "wings"
+        assert payload["passed"] is False
+        assert payload["divergences"] > 0
